@@ -1,0 +1,50 @@
+package graft
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestBenchCLITables checks that graft-bench regenerates the paper's
+// three tables (the Figure 8 sweep itself is exercised by the harness
+// tests and BenchmarkFig8; running it here would dominate the suite).
+func TestBenchCLITables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go toolchain")
+	}
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go toolchain not on PATH")
+	}
+	root := repoRoot(t)
+	run := func(args ...string) string {
+		t.Helper()
+		cmd := exec.Command(goBin, append([]string{"run", "./cmd/graft-bench"}, args...)...)
+		cmd.Dir = root
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("graft-bench %v: %v\n%s", args, err, out)
+		}
+		return string(out)
+	}
+
+	out := run("-table", "1", "-scale", "0.0005")
+	for _, want := range []string{"Table 1", "web-BS", "soc-Epinions", "bipartite-1M-3M", "685000"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table 1 missing %q:\n%s", want, out)
+		}
+	}
+	out = run("-table", "2", "-scale", "0.00001")
+	for _, want := range []string{"Table 2", "sk-2005", "twitter", "bipartite-2B-6B"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table 2 missing %q:\n%s", want, out)
+		}
+	}
+	out = run("-table", "3")
+	for _, want := range []string{"Table 3", "DC-sp", "DC-sp+nbr", "DC-msg", "DC-vv", "DC-full"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table 3 missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,67 @@
+// Command graft-bench regenerates the paper's evaluation artifacts:
+// Tables 1-3 and the Figure 8 overhead experiment.
+//
+//	graft-bench -table 1
+//	graft-bench -table 2
+//	graft-bench -table 3
+//	graft-bench -fig 8 -scale 0.0005 -reps 5 -workers 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"graft/internal/graphgen"
+	"graft/internal/harness"
+)
+
+func main() {
+	table := flag.Int("table", 0, "print a paper table (1, 2 or 3)")
+	fig := flag.Int("fig", 0, "run a paper figure (8, alias 7)")
+	scale := flag.Float64("scale", 0.0002, "dataset scale against paper sizes")
+	reps := flag.Int("reps", 5, "repetitions per cell (the paper used 5)")
+	workers := flag.Int("workers", 8, "worker goroutines per job")
+	seed := flag.Int64("seed", 42, "random seed")
+	check := flag.Bool("check", true, "verify the Figure 8 shape claims")
+	flag.Parse()
+
+	switch {
+	case *table == 1:
+		harness.PrintDatasetTable(os.Stdout, "Table 1: Graph datasets for demonstration (synthetic stand-ins at scale "+
+			fmt.Sprintf("%g", *scale)+")", graphgen.Table1Datasets(*scale, *seed))
+	case *table == 2:
+		harness.PrintDatasetTable(os.Stdout, "Table 2: Graph datasets for performance experiments (synthetic stand-ins at scale "+
+			fmt.Sprintf("%g", *scale)+")", graphgen.Table2Datasets(*scale, *seed))
+	case *table == 3:
+		harness.PrintConfigTable(os.Stdout, harness.StandardConfigs(*seed))
+	case *fig == 7 || *fig == 8:
+		workloads := harness.StandardWorkloads(*scale, *seed, *workers)
+		configs := harness.StandardConfigs(*seed)
+		fmt.Printf("Figure 8: Graft's performance overhead (scale %g, %d reps, %d workers)\n",
+			*scale, *reps, *workers)
+		ms, err := harness.RunFig8(workloads, configs, harness.Options{
+			Reps: *reps, Seed: *seed, Progress: os.Stderr,
+		})
+		if err != nil {
+			log.Fatalf("graft-bench: %v", err)
+		}
+		fmt.Println()
+		harness.PrintFig8(os.Stdout, ms)
+		if *check {
+			problems := harness.CheckFig8Shape(ms, 0.08)
+			if len(problems) == 0 {
+				fmt.Println("\nshape check: OK (debug configs cost >= baseline; DC-full most expensive)")
+			} else {
+				fmt.Println("\nshape check deviations:")
+				for _, p := range problems {
+					fmt.Println("  -", p)
+				}
+			}
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

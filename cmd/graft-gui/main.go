@@ -1,0 +1,71 @@
+// Command graft-gui serves the Graft browser GUI (paper §3.2) over a
+// local trace directory: node-link, tabular, and violations &
+// exceptions views, superstep stepping, reproduce-context buttons and
+// the offline graph builder.
+//
+//	graft-gui -trace-dir ./graft-traces -addr :8320
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+
+	"graft/internal/algorithms"
+	"graft/internal/dfs"
+	"graft/internal/gui"
+	"graft/internal/repro"
+	"graft/internal/trace"
+)
+
+func main() {
+	traceDir := flag.String("trace-dir", "graft-traces", "trace directory written by graft run")
+	addr := flag.String("addr", "127.0.0.1:8320", "listen address")
+	flag.Parse()
+
+	fs, err := dfs.NewLocalFS(*traceDir)
+	if err != nil {
+		log.Fatalf("graft-gui: %v", err)
+	}
+	srv := gui.NewServer(trace.NewStore(fs, ""))
+	registerBuiltinSpecs(srv)
+
+	fmt.Printf("Graft GUI on http://%s (traces from %s)\n", *addr, *traceDir)
+	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+}
+
+// registerBuiltinSpecs wires reproduce-context code generation for the
+// algorithms shipped in this repository, so the generated tests call
+// the right constructors. (Seeds are command-line conventions: the
+// cmd/graft default is 42.)
+func registerBuiltinSpecs(srv *gui.Server) {
+	algImports := []string{"graft/internal/algorithms"}
+	specs := map[string]repro.GenSpec{
+		"gc":       {ComputationExpr: "algorithms.NewGraphColoring(42).Compute", MasterExpr: "algorithms.NewGraphColoring(42).Master"},
+		"gc-buggy": {ComputationExpr: "algorithms.NewBuggyGraphColoring(42).Compute", MasterExpr: "algorithms.NewBuggyGraphColoring(42).Master"},
+		"rw":       {ComputationExpr: "algorithms.NewRandomWalk(42, 10).Compute"},
+		"rw16":     {ComputationExpr: "algorithms.NewRandomWalk16(42, 10).Compute"},
+		"mwm":      {ComputationExpr: "algorithms.NewMaximumWeightMatching(1000).Compute"},
+		"cc":       {ComputationExpr: "algorithms.NewConnectedComponents().Compute"},
+		"pagerank": {ComputationExpr: "algorithms.NewPageRank(10, 0.85).Compute"},
+		"sssp":     {ComputationExpr: "algorithms.NewSSSP(0).Compute"},
+	}
+	for name, spec := range specs {
+		spec.ExtraImports = algImports
+		spec.Assert = true
+		srv.RegisterReproSpec(name, spec)
+	}
+	// Live computations for the replay-check view (same seeds).
+	srv.RegisterComputation("gc", algorithms.NewGraphColoring(42).Compute)
+	srv.RegisterComputation("gc-buggy", algorithms.NewBuggyGraphColoring(42).Compute)
+	srv.RegisterComputation("rw", algorithms.NewRandomWalk(42, 10).Compute)
+	srv.RegisterComputation("rw16", algorithms.NewRandomWalk16(42, 10).Compute)
+	srv.RegisterComputation("mwm", algorithms.NewMaximumWeightMatching(1000).Compute)
+	srv.RegisterComputation("cc", algorithms.NewConnectedComponents().Compute)
+	srv.RegisterComputation("pagerank", algorithms.NewPageRank(10, 0.85).Compute)
+	srv.RegisterComputation("sssp", algorithms.NewSSSP(0).Compute)
+	srv.RegisterComputation("lpa", algorithms.NewLabelPropagation(100).Compute)
+	srv.RegisterComputation("triangles", algorithms.NewTriangleCount().Compute)
+	srv.RegisterComputation("kcore", algorithms.NewKCore(3).Compute)
+}

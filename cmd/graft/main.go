@@ -1,0 +1,413 @@
+// Command graft runs vertex-centric algorithms under the Graft
+// debugger and inspects the resulting traces.
+//
+// Subcommands:
+//
+//	graft run   -alg gc -dataset bipartite-1M-3M -scale 0.001 -debug DC-full -trace-dir ./traces
+//	graft jobs  -trace-dir ./traces
+//	graft show  -trace-dir ./traces -job <id> [-superstep N]
+//	graft repro -trace-dir ./traces -job <id> -superstep N -vertex V [-assert]
+//	graft repro -trace-dir ./traces -job <id> -superstep N -master
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"graft/internal/algorithms"
+	"graft/internal/core"
+	"graft/internal/dfs"
+	"graft/internal/graphgen"
+	"graft/internal/graphio"
+	"graft/internal/harness"
+	"graft/internal/pregel"
+	"graft/internal/repro"
+	"graft/internal/trace"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "run":
+		err = cmdRun(os.Args[2:])
+	case "jobs":
+		err = cmdJobs(os.Args[2:])
+	case "show":
+		err = cmdShow(os.Args[2:])
+	case "repro":
+		err = cmdRepro(os.Args[2:])
+	case "diff":
+		err = cmdDiff(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "graft:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: graft <run|jobs|show|repro|diff> [flags]
+run   executes an algorithm under the Graft debugger
+jobs  lists traced jobs
+show  dumps the captures of a job
+repro generates a context-reproduction Go test
+diff  compares the captures of two jobs (e.g. buggy vs fixed)`)
+}
+
+func openStore(dir string) (*trace.Store, error) {
+	fs, err := dfs.NewLocalFS(dir)
+	if err != nil {
+		return nil, err
+	}
+	return trace.NewStore(fs, ""), nil
+}
+
+// buildAlgorithm resolves the -alg flag.
+func buildAlgorithm(name string, seed int64, supersteps int) (*algorithms.Algorithm, error) {
+	switch name {
+	case "gc":
+		return algorithms.NewGraphColoring(seed), nil
+	case "gc-buggy":
+		return algorithms.NewBuggyGraphColoring(seed), nil
+	case "rw":
+		return algorithms.NewRandomWalk(seed, supersteps), nil
+	case "rw16":
+		return algorithms.NewRandomWalk16(seed, supersteps), nil
+	case "mwm":
+		return algorithms.NewMaximumWeightMatching(supersteps * 100), nil
+	case "cc":
+		return algorithms.NewConnectedComponents(), nil
+	case "pagerank":
+		return algorithms.NewPageRank(supersteps, 0.85), nil
+	case "sssp":
+		return algorithms.NewSSSP(0), nil
+	case "lpa":
+		return algorithms.NewLabelPropagation(supersteps * 10), nil
+	case "triangles":
+		return algorithms.NewTriangleCount(), nil
+	case "kcore":
+		return algorithms.NewKCore(3), nil
+	}
+	return nil, fmt.Errorf("unknown algorithm %q (gc, gc-buggy, rw, rw16, mwm, cc, pagerank, sssp, lpa, triangles, kcore)", name)
+}
+
+// buildGraph resolves -dataset: a Table 1/2 name (scaled) or a local
+// adjacency-list file.
+func buildGraph(dataset string, scale float64, seed int64) (*pregel.Graph, error) {
+	all := append(graphgen.Table1Datasets(scale, seed), graphgen.Table2Datasets(scale, seed)...)
+	if ds, err := graphgen.FindDataset(all, dataset); err == nil {
+		return ds.Build(), nil
+	}
+	f, err := os.Open(dataset)
+	if err != nil {
+		return nil, fmt.Errorf("dataset %q is neither a known name nor a readable file: %w", dataset, err)
+	}
+	defer f.Close()
+	return graphio.ReadAdjacency(f)
+}
+
+// buildDebugConfig resolves -debug: a Table 3 preset name, "fig2",
+// "all-active", or "none".
+func buildDebugConfig(preset string, seed int64) (*core.DebugConfig, error) {
+	if preset == "" || preset == "none" {
+		return nil, nil
+	}
+	if preset == "fig2" {
+		dc := core.Fig2Config(seed)
+		return &dc, nil
+	}
+	if preset == "all-active" {
+		return &core.DebugConfig{CaptureAllActive: true, CaptureExceptions: true}, nil
+	}
+	for _, c := range harness.StandardConfigs(seed) {
+		if c.Name == preset && c.Make != nil {
+			dc := c.Make()
+			return &dc, nil
+		}
+	}
+	return nil, fmt.Errorf("unknown debug preset %q (DC-sp, DC-sp+nbr, DC-msg, DC-vv, DC-full, fig2, all-active, none)", preset)
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	alg := fs.String("alg", "cc", "algorithm to run")
+	dataset := fs.String("dataset", "soc-Epinions", "dataset name (Table 1/2) or adjacency-list file")
+	scale := fs.Float64("scale", 0.01, "dataset scale factor against the paper sizes")
+	seed := fs.Int64("seed", 42, "random seed")
+	workers := fs.Int("workers", 4, "worker goroutines")
+	supersteps := fs.Int("supersteps", 10, "superstep budget for fixed-length algorithms")
+	debug := fs.String("debug", "DC-sp", "debug preset or none")
+	traceDir := fs.String("trace-dir", "graft-traces", "trace directory")
+	jobID := fs.String("job", "", "job ID (default: <alg>-<timestamp>)")
+	fs.Parse(args)
+
+	a, err := buildAlgorithm(*alg, *seed, *supersteps)
+	if err != nil {
+		return err
+	}
+	g, err := buildGraph(*dataset, *scale, *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("dataset %s: %d vertices, %d directed edges\n", *dataset, g.NumVertices(), g.NumEdges())
+
+	dc, err := buildDebugConfig(*debug, *seed)
+	if err != nil {
+		return err
+	}
+	engCfg := pregel.Config{
+		NumWorkers:    *workers,
+		Combiner:      a.Combiner,
+		Master:        a.Master,
+		MaxSupersteps: a.MaxSupersteps,
+	}
+	comp := a.Compute
+
+	var session *core.Graft
+	if dc != nil {
+		store, err := openStore(*traceDir)
+		if err != nil {
+			return err
+		}
+		id := *jobID
+		if id == "" {
+			id = fmt.Sprintf("%s-%d", a.Name, time.Now().UnixNano())
+		}
+		session, err = core.Attach(store, core.Options{
+			JobID:       id,
+			Algorithm:   a.Name,
+			Description: fmt.Sprintf("dataset=%s scale=%g debug=%s", *dataset, *scale, *debug),
+			NumWorkers:  *workers,
+		}, g, *dc)
+		if err != nil {
+			return err
+		}
+		comp = session.Instrument(comp)
+		engCfg.Master = session.InstrumentMaster(engCfg.Master)
+		engCfg.Listener = session
+		fmt.Printf("debugging with %s, traces under %s/%s\n", *debug, *traceDir, id)
+	}
+
+	job := pregel.NewJob(g, comp, engCfg)
+	for _, spec := range a.Aggregators {
+		job.RegisterAggregator(spec.Name, spec.Agg, spec.Persistent)
+	}
+	stats, err := job.Run()
+	if err != nil {
+		fmt.Printf("job FAILED: %v\n", err)
+		if session != nil {
+			fmt.Printf("the failing context was captured (%d captures); inspect with graft show / graft-gui\n", session.Captures())
+		}
+		return nil // the failure is the expected outcome of exception scenarios
+	}
+	fmt.Printf("finished: %d supersteps, %v, %d messages, %v\n",
+		stats.Supersteps, stats.Reason, stats.TotalMessages, stats.Runtime.Round(time.Millisecond))
+	if session != nil {
+		fmt.Printf("captures: %d (limit hit: %v)\n", session.Captures(), session.LimitHit())
+	}
+	return nil
+}
+
+func cmdJobs(args []string) error {
+	fs := flag.NewFlagSet("jobs", flag.ExitOnError)
+	traceDir := fs.String("trace-dir", "graft-traces", "trace directory")
+	fs.Parse(args)
+	store, err := openStore(*traceDir)
+	if err != nil {
+		return err
+	}
+	ids, err := store.ListJobs()
+	if err != nil {
+		return err
+	}
+	for _, id := range ids {
+		meta, err := store.ReadMeta(id)
+		if err != nil {
+			continue
+		}
+		status := "running"
+		captures := int64(0)
+		if res, done, _ := store.ReadResult(id); done {
+			status = res.Reason
+			if res.Error != "" {
+				status = "failed"
+			}
+			captures = res.Captures
+		}
+		fmt.Printf("%-32s %-10s %8dv %10de %4dw captures=%d %s\n",
+			id, meta.Algorithm, meta.NumVertices, meta.NumEdges, meta.NumWorkers, captures, status)
+	}
+	if len(ids) == 0 {
+		fmt.Println("no traced jobs")
+	}
+	return nil
+}
+
+func cmdShow(args []string) error {
+	fs := flag.NewFlagSet("show", flag.ExitOnError)
+	traceDir := fs.String("trace-dir", "graft-traces", "trace directory")
+	jobID := fs.String("job", "", "job ID")
+	superstep := fs.Int("superstep", -1, "superstep to show (-1 = all)")
+	violations := fs.Bool("violations", false, "show only violations and exceptions")
+	fs.Parse(args)
+	if *jobID == "" {
+		return fmt.Errorf("show: -job required")
+	}
+	store, err := openStore(*traceDir)
+	if err != nil {
+		return err
+	}
+	db, err := store.LoadDB(*jobID)
+	if err != nil {
+		return err
+	}
+	steps := db.Supersteps()
+	if *superstep >= 0 {
+		steps = []int{*superstep}
+	}
+	for _, s := range steps {
+		meta := db.MetaAt(s)
+		if meta == nil {
+			continue
+		}
+		st := db.StatusAt(s)
+		fmt.Printf("superstep %d: %d vertices, %d edges, M=%s V=%s E=%s\n",
+			s, meta.NumVertices, meta.NumEdges, redGreen(st.MessageViolation),
+			redGreen(st.VertexViolation), redGreen(st.Exception))
+		if *violations {
+			for _, row := range db.ViolationsAt(s) {
+				fmt.Printf("  VIOLATION vertex %d: %s %s (-> %d)\n", row.VertexID, row.Kind, row.Detail, row.DstID)
+			}
+			continue
+		}
+		for _, c := range db.CapturesAt(s) {
+			fmt.Printf("  vertex %-8d [%s] %s -> %s  in=%d out=%d halted=%v\n",
+				c.ID, c.Reasons, pregel.ValueString(c.ValueBefore), pregel.ValueString(c.ValueAfter),
+				len(c.Incoming), len(c.Outgoing), c.HaltedAfter)
+			if c.Exception != nil {
+				fmt.Printf("    EXCEPTION: %s\n", strings.Split(c.Exception.Message, "\n")[0])
+			}
+		}
+	}
+	return nil
+}
+
+func redGreen(red bool) string {
+	if red {
+		return "RED"
+	}
+	return "green"
+}
+
+func cmdDiff(args []string) error {
+	fs := flag.NewFlagSet("diff", flag.ExitOnError)
+	traceDir := fs.String("trace-dir", "graft-traces", "trace directory")
+	jobA := fs.String("a", "", "first job ID")
+	jobB := fs.String("b", "", "second job ID")
+	max := fs.Int("max", 20, "maximum divergences to print")
+	fs.Parse(args)
+	if *jobA == "" || *jobB == "" {
+		return fmt.Errorf("diff: -a and -b required")
+	}
+	store, err := openStore(*traceDir)
+	if err != nil {
+		return err
+	}
+	dbA, err := store.LoadDB(*jobA)
+	if err != nil {
+		return err
+	}
+	dbB, err := store.LoadDB(*jobB)
+	if err != nil {
+		return err
+	}
+	diff := trace.DiffJobs(dbA, dbB)
+	if len(diff.OnlyA) > 0 {
+		fmt.Printf("captured only in %s: %v\n", *jobA, diff.OnlyA)
+	}
+	if len(diff.OnlyB) > 0 {
+		fmt.Printf("captured only in %s: %v\n", *jobB, diff.OnlyB)
+	}
+	if len(diff.StatusDiffs) > 0 {
+		fmt.Printf("M/V/E status differs at supersteps: %v\n", diff.StatusDiffs)
+	}
+	if len(diff.Divergences) == 0 {
+		fmt.Println("no divergences among commonly captured vertices")
+		return nil
+	}
+	fmt.Printf("%d divergences; first at superstep %d vertex %d:\n",
+		len(diff.Divergences), diff.FirstDivergence().Superstep, diff.FirstDivergence().ID)
+	for i, d := range diff.Divergences {
+		if i == *max {
+			fmt.Printf("  ... and %d more\n", len(diff.Divergences)-*max)
+			break
+		}
+		fmt.Printf("  superstep %3d vertex %-8d %v: %s=%s vs %s=%s\n",
+			d.Superstep, d.ID, d.Fields,
+			*jobA, pregel.ValueString(d.A.ValueAfter),
+			*jobB, pregel.ValueString(d.B.ValueAfter))
+	}
+	return nil
+}
+
+func cmdRepro(args []string) error {
+	fs := flag.NewFlagSet("repro", flag.ExitOnError)
+	traceDir := fs.String("trace-dir", "graft-traces", "trace directory")
+	jobID := fs.String("job", "", "job ID")
+	superstep := fs.Int("superstep", 0, "superstep")
+	vertex := fs.Int64("vertex", -1, "vertex to reproduce")
+	master := fs.Bool("master", false, "reproduce the master context instead")
+	suite := fs.Bool("suite", false, "generate one test per captured superstep of the vertex")
+	comp := fs.String("comp", "", "Go expression for the computation (else a TODO placeholder)")
+	imports := fs.String("imports", "", "comma-separated extra imports for -comp")
+	assert := fs.Bool("assert", false, "add assertions from the captured outcome")
+	fs.Parse(args)
+	if *jobID == "" {
+		return fmt.Errorf("repro: -job required")
+	}
+	store, err := openStore(*traceDir)
+	if err != nil {
+		return err
+	}
+	db, err := store.LoadDB(*jobID)
+	if err != nil {
+		return err
+	}
+	spec := repro.GenSpec{Assert: *assert}
+	if *imports != "" {
+		spec.ExtraImports = strings.Split(*imports, ",")
+	}
+	var code string
+	switch {
+	case *master:
+		spec.MasterExpr = *comp
+		code, err = repro.GenerateMasterTest(db, *superstep, spec)
+	case *suite:
+		if *vertex < 0 {
+			return fmt.Errorf("repro: -vertex required with -suite")
+		}
+		spec.ComputationExpr = *comp
+		code, err = repro.GenerateVertexSuite(db, pregel.VertexID(*vertex), spec)
+	default:
+		if *vertex < 0 {
+			return fmt.Errorf("repro: -vertex required (or -master)")
+		}
+		spec.ComputationExpr = *comp
+		code, err = repro.GenerateVertexTest(db, *superstep, pregel.VertexID(*vertex), spec)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Print(code)
+	return nil
+}

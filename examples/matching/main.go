@@ -1,0 +1,123 @@
+// The paper's §4.3 maximum-weight-matching scenario: the input graph
+// is supposed to encode an undirected weighted graph as symmetric
+// directed edges, but a small fraction of the pairs carry different
+// weights on their two directions. MWM then never converges. We
+// detect the infinite loop through the superstep safety cap, re-run
+// with Graft capturing all active vertices after superstep 500, and
+// inspect the small remaining active graph — whose captured edges
+// expose the asymmetric weights.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"graft"
+	"graft/internal/algorithms"
+	"graft/internal/graphgen"
+)
+
+func main() {
+	// The soc-Epinions stand-in with corrupted symmetric weights.
+	build := func() *graft.Graph {
+		g := graphgen.SocialGraph(1500, 6, 3)
+		corrupted := graphgen.CorruptWeights(g, 0.01, 99)
+		ids := graphgen.PlantPreferenceCycle(g)
+		fmt.Printf("corrupted %d symmetric edge pairs; planted preference cycle %v\n", corrupted, ids)
+		return g
+	}
+
+	// First run, without debugging: the job hits the superstep cap —
+	// the "infinite loop" symptom.
+	g := build()
+	fmt.Printf("weighted graph: %d vertices, %d directed edges\n", g.NumVertices(), g.NumEdges())
+	res, err := graft.RunAlgorithm(g, algorithms.NewMaximumWeightMatching(520), graft.RunOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("MWM run 1: stopped after %d supersteps, reason=%v (converged jobs stop on their own)\n\n",
+		res.Stats.Supersteps, res.Stats.Reason)
+
+	// Second run, with Graft: capture ALL active vertices after
+	// superstep 500 — by then almost everything has matched and left
+	// the graph, so the capture set is the small "stuck" subgraph.
+	store := graft.NewStore(graft.NewMemFS(), "traces")
+	res2, err := graft.RunAlgorithm(build(), algorithms.NewMaximumWeightMatching(520), graft.RunOptions{
+		JobID: "mwm-scenario",
+		Store: store,
+		Debug: &graft.DebugConfig{
+			CaptureAllActive:  true,
+			CaptureExceptions: true,
+			SuperstepFilter:   func(s int) bool { return s >= 500 },
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("MWM run 2 (debugged): %d supersteps, %d captures after superstep 500\n",
+		res2.Stats.Supersteps, res2.Captures)
+
+	db, err := store.LoadDB("mwm-scenario")
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := db.Supersteps()[0]
+	captures := db.CapturesAt(s)
+	fmt.Printf("\nremaining active graph at superstep %d: %d vertices\n", s, len(captures))
+
+	// Build the weight table of the captured subgraph and look for
+	// asymmetric pairs — the root cause.
+	weights := map[[2]graft.VertexID]float64{}
+	for _, c := range captures {
+		for _, e := range c.Edges {
+			if w, ok := e.Value.(interface{ Get() float64 }); ok {
+				weights[[2]graft.VertexID{c.ID, e.Target}] = w.Get()
+			}
+		}
+	}
+	type asym struct {
+		a, b     graft.VertexID
+		wab, wba float64
+	}
+	var bad []asym
+	for key, wab := range weights {
+		if key[0] > key[1] {
+			continue
+		}
+		if wba, ok := weights[[2]graft.VertexID{key[1], key[0]}]; ok && wba != wab {
+			bad = append(bad, asym{key[0], key[1], wab, wba})
+		}
+	}
+	sort.Slice(bad, func(i, j int) bool { return bad[i].a < bad[j].a })
+	if len(bad) == 0 {
+		log.Fatal("no asymmetric weights among the stuck vertices; corruption too mild")
+	}
+	fmt.Printf("\nROOT CAUSE: %d edge pairs among the stuck vertices have asymmetric weights:\n", len(bad))
+	for i, x := range bad {
+		if i == 5 {
+			fmt.Printf("  ... and %d more\n", len(bad)-5)
+			break
+		}
+		fmt.Printf("  weight(%d -> %d) = %.3f but weight(%d -> %d) = %.3f\n",
+			x.a, x.b, x.wab, x.b, x.a, x.wba)
+	}
+	fmt.Println("\neach stuck vertex prefers a neighbor that does not prefer it back, so no")
+	fmt.Println("mutual proposal ever forms: the algorithm spins forever. Fixing the input")
+	fmt.Println("graph's symmetric weights makes MWM converge:")
+
+	// Demonstrate: the clean graph converges.
+	clean := graphgen.SocialGraph(1500, 6, 3)
+	res3, err := graft.RunAlgorithm(clean, algorithms.NewMaximumWeightMatching(5000), graft.RunOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	matched := 0
+	clean.Each(func(v *graft.Vertex) {
+		if val, ok := v.Value().(*algorithms.MWMValue); ok && val.Matched {
+			matched++
+		}
+	})
+	fmt.Printf("clean input: %v after %d supersteps, %d vertices matched\n",
+		res3.Stats.Reason, res3.Stats.Supersteps, matched)
+}

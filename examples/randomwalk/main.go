@@ -1,0 +1,132 @@
+// The paper's §4.2 random-walk scenario: the RW implementation
+// declares its per-neighbor walker counters as 16-bit integers "to
+// optimize memory and network I/O"; on the web-BS graph a hub
+// accumulates more than 32767 walkers on one edge and the counter
+// wraps negative. We run RW under the Figure 2 DebugConfig (5 random
+// vertices + neighbors, plus a non-negative message constraint),
+// watch the message-constraint box turn red, inspect the Violations
+// and Exceptions view, and generate a reproduction test for a
+// violating sender. Finally the fixed 64-bit variant runs clean.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"graft"
+	"graft/internal/algorithms"
+	"graft/internal/graphgen"
+	"graft/internal/repro"
+)
+
+const (
+	seed       = 9
+	supersteps = 10
+)
+
+func main() {
+	// The web-BS stand-in, scaled to demo size.
+	build := func() *graft.Graph { return graphgen.WebGraph(4000, 6, 11) }
+	g := build()
+	fmt.Printf("web graph: %d vertices, %d directed edges\n", g.NumVertices(), g.NumEdges())
+
+	store := graft.NewStore(graft.NewMemFS(), "traces")
+
+	// The Figure 2 DebugConfig: 5 random vertices and their neighbors,
+	// plus the constraint that message values are non-negative.
+	dc := graft.DebugConfig{
+		NumRandomCaptures: 5,
+		CaptureNeighbors:  true,
+		RandomSeed:        3,
+		CaptureExceptions: true,
+		MessageConstraint: algorithms.NonNegativeRWMessages,
+	}
+	res, err := graft.RunAlgorithm(g, algorithms.NewRandomWalk16(seed, supersteps), graft.RunOptions{
+		JobID: "rw16-scenario",
+		Store: store,
+		Debug: &dc,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("16-bit random walk finished: %d supersteps, %d captures\n\n",
+		res.Stats.Supersteps, res.Captures)
+
+	// The M box turns red in some supersteps (paper: "we see that the
+	// message value constraint icon is red in some supersteps").
+	db, err := store.LoadDB("rw16-scenario")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("message-constraint status per superstep:")
+	firstRed := -1
+	for _, s := range db.Supersteps() {
+		st := db.StatusAt(s)
+		mark := "green"
+		if st.MessageViolation {
+			mark = "RED"
+			if firstRed < 0 {
+				firstRed = s
+			}
+		}
+		fmt.Printf("  superstep %2d: M=%s\n", s, mark)
+	}
+	if firstRed < 0 {
+		log.Fatal("the overflow never fired; grow the graph or walker count")
+	}
+
+	// Violations and Exceptions view: which vertices sent negative
+	// messages, and what exactly.
+	rows := db.ViolationsAt(firstRed)
+	fmt.Printf("\nviolations at superstep %d (%d rows), first few:\n", firstRed, len(rows))
+	for i, row := range rows {
+		if i == 3 {
+			break
+		}
+		fmt.Printf("  vertex %d sent %s to vertex %d\n", row.VertexID, row.Detail, row.DstID)
+	}
+	suspect := rows[0].VertexID
+
+	// Reproduce the violating sender: walkers in, negative counter out.
+	c := db.Capture(firstRed, suspect)
+	fmt.Printf("\ncaptured context of vertex %d @ superstep %d: %s walkers in, %d messages out\n",
+		suspect, firstRed, graft.ValueString(c.ValueAfter), len(c.Outgoing))
+	out, err := repro.Replay(db, firstRed, suspect, algorithms.NewRandomWalk16(seed, supersteps).Compute)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("replay fidelity diffs: %v\n", repro.Fidelity(c, out))
+
+	code, err := repro.GenerateVertexTest(db, firstRed, suspect, repro.GenSpec{
+		ComputationExpr: fmt.Sprintf("algorithms.NewRandomWalk16(%d, %d).Compute", seed, supersteps),
+		ExtraImports:    []string{"graft/internal/algorithms"},
+		Assert:          true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n--- generated reproduction test (stepping through it shows the int16 cast wrap) ---")
+	fmt.Println(code)
+
+	// The fix: 64-bit counters. Same run, constraint stays green.
+	res2, err := graft.RunAlgorithm(build(), algorithms.NewRandomWalk(seed, supersteps), graft.RunOptions{
+		JobID: "rw64-fixed",
+		Store: store,
+		Debug: &dc,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	db2, err := store.LoadDB("rw64-fixed")
+	if err != nil {
+		log.Fatal(err)
+	}
+	anyRed := false
+	for _, s := range db2.Supersteps() {
+		if db2.StatusAt(s).MessageViolation {
+			anyRed = true
+		}
+	}
+	fmt.Printf("\nfixed 64-bit walk: %d supersteps, %d captures, any red M box: %v\n",
+		res2.Stats.Supersteps, res2.Captures, anyRed)
+}

@@ -1,0 +1,3 @@
+module graft
+
+go 1.24

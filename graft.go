@@ -1,0 +1,213 @@
+// Package graft is a Go reproduction of Graft, the capture /
+// visualize / reproduce debugger for Apache Giraph (Salihoglu, Shin,
+// Khanna, Truong, Widom; SIGMOD 2015), together with the Pregel-style
+// BSP engine it debugs.
+//
+// The typical flow mirrors the paper:
+//
+//  1. Capture — describe the vertices of interest in a DebugConfig and
+//     Run the job; Graft writes their full per-superstep contexts to
+//     per-worker trace files in a (simulated) distributed file system.
+//  2. Visualize — load the trace into a DB and step through it with
+//     the HTTP GUI (internal/gui via cmd/graft-gui), or query it
+//     programmatically.
+//  3. Reproduce — generate a standalone Go test that rebuilds the
+//     exact context of one vertex at one superstep and calls the
+//     user's Compute, for line-by-line debugging.
+//
+// Quick start:
+//
+//	g := graft.NewGraph()
+//	// ... add vertices and edges ...
+//	fs := graft.NewMemFS()
+//	res, err := graft.Run(g, myComputation, graft.RunOptions{
+//		JobID:     "run-1",
+//		Algorithm: "my-algo",
+//		Store:     graft.NewStore(fs, "traces"),
+//		Debug:     &graft.DebugConfig{CaptureIDs: []graft.VertexID{42}, CaptureExceptions: true},
+//	})
+package graft
+
+import (
+	"fmt"
+
+	"graft/internal/algorithms"
+	"graft/internal/core"
+	"graft/internal/dfs"
+	"graft/internal/pregel"
+	"graft/internal/trace"
+)
+
+// Re-exported engine types: the vocabulary user computations are
+// written in.
+type (
+	// Graph is an input graph under construction.
+	Graph = pregel.Graph
+	// Vertex is the unit of computation.
+	Vertex = pregel.Vertex
+	// Edge is an outgoing edge.
+	Edge = pregel.Edge
+	// VertexID identifies a vertex.
+	VertexID = pregel.VertexID
+	// Value is the interface of vertex/edge/message/aggregator values.
+	Value = pregel.Value
+	// Computation is the vertex program (vertex.compute).
+	Computation = pregel.Computation
+	// ComputeFunc adapts a function to Computation.
+	ComputeFunc = pregel.ComputeFunc
+	// Context is the per-superstep vertex environment.
+	Context = pregel.Context
+	// MasterComputation is the master program (master.compute).
+	MasterComputation = pregel.MasterComputation
+	// MasterContext is the master's environment.
+	MasterContext = pregel.MasterContext
+	// EngineConfig configures the BSP engine.
+	EngineConfig = pregel.Config
+	// Stats summarizes a finished job.
+	Stats = pregel.Stats
+	// DebugConfig selects which vertices Graft captures.
+	DebugConfig = core.DebugConfig
+	// Store lays trace files out in a file system.
+	Store = trace.Store
+	// TraceDB is the queryable index over one job's trace.
+	TraceDB = trace.DB
+	// FileSystem is the storage abstraction traces live in.
+	FileSystem = dfs.FileSystem
+	// Algorithm bundles a computation with its master, combiner and
+	// aggregators (see internal/algorithms for the library).
+	Algorithm = algorithms.Algorithm
+	// AggregatorSpec declares one aggregator a computation needs.
+	AggregatorSpec = algorithms.AggregatorSpec
+	// Aggregator merges per-vertex contributions into a global value.
+	Aggregator = pregel.Aggregator
+	// Combiner merges messages addressed to the same vertex.
+	Combiner = pregel.Combiner
+)
+
+// Re-exported value constructors, so user computations and generated
+// reproduction code need only this package.
+var (
+	NewLong   = pregel.NewLong
+	NewInt    = pregel.NewInt
+	NewShort  = pregel.NewShort
+	NewDouble = pregel.NewDouble
+	NewText   = pregel.NewText
+	NewBool   = pregel.NewBool
+	Nil       = pregel.Nil
+)
+
+// ValueString renders a value for display, with "∅" for nil.
+func ValueString(v Value) string { return pregel.ValueString(v) }
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph { return pregel.NewGraph() }
+
+// NewMemFS returns an in-memory file system for traces.
+func NewMemFS() *dfs.MemFS { return dfs.NewMemFS() }
+
+// NewLocalFS returns a file system rooted at a local directory.
+func NewLocalFS(dir string) (*dfs.LocalFS, error) { return dfs.NewLocalFS(dir) }
+
+// NewStore returns a trace store rooted at root within fs.
+func NewStore(fs dfs.FileSystem, root string) *Store { return trace.NewStore(fs, root) }
+
+// RunOptions configures one debugged (or plain) job run.
+type RunOptions struct {
+	// JobID names the trace directory; required when Debug is set.
+	JobID string
+	// Algorithm is a human-readable name recorded in the manifest.
+	Algorithm string
+	// Description optionally records dataset/parameters.
+	Description string
+	// Engine configures the BSP engine (workers, master, combiner...).
+	Engine EngineConfig
+	// Debug, when non-nil, attaches Graft with this DebugConfig.
+	Debug *DebugConfig
+	// Store receives trace files; required when Debug is set.
+	Store *Store
+	// Aggregators to register on the job.
+	Aggregators []AggregatorSpec
+}
+
+// RunResult reports a finished run.
+type RunResult struct {
+	Stats *Stats
+	// JobID is where traces were written ("" without debugging).
+	JobID string
+	// Captures is the number of vertex contexts captured.
+	Captures int64
+	// LimitHit reports whether the MaxCaptures safety net engaged.
+	LimitHit bool
+}
+
+// Run executes comp over g, attaching Graft when opts.Debug is set.
+// The engine mutates g in place; clone the graph to reuse it.
+//
+// When the computation itself fails (an exception scenario), Run
+// returns both the error and a RunResult: the trace — including the
+// captured failing context — is still written, which is the point.
+func Run(g *Graph, comp Computation, opts RunOptions) (*RunResult, error) {
+	cfg := opts.Engine
+	res := &RunResult{}
+	var session *core.Graft
+	if opts.Debug != nil {
+		if opts.Store == nil {
+			return nil, fmt.Errorf("graft: RunOptions.Debug set without Store")
+		}
+		if opts.JobID == "" {
+			return nil, fmt.Errorf("graft: RunOptions.Debug set without JobID")
+		}
+		if cfg.NumWorkers <= 0 {
+			cfg.NumWorkers = pregel.DefaultNumWorkers
+		}
+		var err error
+		session, err = core.Attach(opts.Store, core.Options{
+			JobID:       opts.JobID,
+			Algorithm:   opts.Algorithm,
+			Description: opts.Description,
+			NumWorkers:  cfg.NumWorkers,
+		}, g, *opts.Debug)
+		if err != nil {
+			return nil, err
+		}
+		comp = session.Instrument(comp)
+		cfg.Master = session.InstrumentMaster(cfg.Master)
+		cfg.Listener = session.Chain(cfg.Listener)
+		res.JobID = opts.JobID
+	}
+
+	job := pregel.NewJob(g, comp, cfg)
+	for _, spec := range opts.Aggregators {
+		job.RegisterAggregator(spec.Name, spec.Agg, spec.Persistent)
+	}
+	stats, err := job.Run()
+	res.Stats = stats
+	if session != nil {
+		res.Captures = session.Captures()
+		res.LimitHit = session.LimitHit()
+		if werr := session.Err(); werr != nil && err == nil {
+			err = fmt.Errorf("graft: trace write: %w", werr)
+		}
+	}
+	return res, err
+}
+
+// RunAlgorithm runs a packaged Algorithm — wiring its master, combiner,
+// aggregators and superstep bound into opts — under the same debugging
+// setup as Run. Explicit opts.Engine fields win over the algorithm's.
+func RunAlgorithm(g *Graph, alg *Algorithm, opts RunOptions) (*RunResult, error) {
+	if opts.Algorithm == "" {
+		opts.Algorithm = alg.Name
+	}
+	if opts.Engine.Master == nil {
+		opts.Engine.Master = alg.Master
+	}
+	if opts.Engine.Combiner == nil {
+		opts.Engine.Combiner = alg.Combiner
+	}
+	if opts.Engine.MaxSupersteps == 0 {
+		opts.Engine.MaxSupersteps = alg.MaxSupersteps
+	}
+	opts.Aggregators = append(opts.Aggregators, alg.Aggregators...)
+	return Run(g, alg.Compute, opts)
+}

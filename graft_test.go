@@ -1,0 +1,177 @@
+package graft
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"graft/internal/algorithms"
+	"graft/internal/graphgen"
+	"graft/internal/pregel"
+)
+
+func smallGraph(t *testing.T) *Graph {
+	t.Helper()
+	g := NewGraph()
+	for i := 0; i < 6; i++ {
+		g.AddVertex(VertexID(i), nil)
+	}
+	for i := 1; i < 6; i++ {
+		if err := g.AddUndirectedEdge(VertexID(i-1), VertexID(i), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+func TestRunWithoutDebugging(t *testing.T) {
+	g := smallGraph(t)
+	res, err := RunAlgorithm(g, algorithms.NewConnectedComponents(), RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.JobID != "" || res.Captures != 0 {
+		t.Errorf("undebugged run has debug artifacts: %+v", res)
+	}
+	if res.Stats == nil || res.Stats.Reason != pregel.ReasonConverged {
+		t.Errorf("stats = %+v", res.Stats)
+	}
+	if got := g.Vertex(5).Value().(*pregel.LongValue).Get(); got != 0 {
+		t.Errorf("CC label = %d", got)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	g := smallGraph(t)
+	dc := &DebugConfig{CaptureIDs: []VertexID{1}}
+	if _, err := Run(g, algorithms.NewConnectedComponents().Compute,
+		RunOptions{Debug: dc}); err == nil {
+		t.Error("missing Store accepted")
+	}
+	if _, err := Run(g, algorithms.NewConnectedComponents().Compute,
+		RunOptions{Debug: dc, Store: NewStore(NewMemFS(), "t")}); err == nil {
+		t.Error("missing JobID accepted")
+	}
+}
+
+func TestRunWithDebuggingEndToEnd(t *testing.T) {
+	g := smallGraph(t)
+	fs := NewMemFS()
+	store := NewStore(fs, "traces")
+	res, err := RunAlgorithm(g, algorithms.NewConnectedComponents(), RunOptions{
+		JobID:     "facade-test",
+		Algorithm: "cc",
+		Store:     store,
+		Debug: &DebugConfig{
+			CaptureIDs:        []VertexID{3},
+			CaptureNeighbors:  true,
+			CaptureExceptions: true,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Captures == 0 || res.JobID != "facade-test" {
+		t.Fatalf("result = %+v", res)
+	}
+	db, err := store.LoadDB("facade-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := db.CapturedVertexIDs()
+	if len(ids) != 3 { // 3 and its neighbors 2, 4
+		t.Fatalf("captured %v", ids)
+	}
+	if db.Meta.Algorithm != "cc" {
+		t.Errorf("algorithm = %q", db.Meta.Algorithm)
+	}
+}
+
+func TestRunAlgorithmWiresMasterAndAggregators(t *testing.T) {
+	g := graphgen.RegularBipartite(60, 3)
+	store := NewStore(NewMemFS(), "traces")
+	res, err := RunAlgorithm(g, algorithms.NewGraphColoring(1), RunOptions{
+		JobID: "gc-facade",
+		Store: store,
+		Debug: &DebugConfig{CaptureIDs: []VertexID{0}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Reason != pregel.ReasonConverged {
+		t.Fatalf("GC did not converge: %v", res.Stats.Reason)
+	}
+	db, err := store.LoadDB("gc-facade")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Master captures prove the master was wired and instrumented.
+	if db.MasterAt(0) == nil {
+		t.Error("no master capture")
+	}
+	if _, ok := db.MetaAt(1).Aggregated["phase"]; !ok {
+		t.Error("phase aggregator missing: aggregators not registered")
+	}
+}
+
+func TestRunReturnsResultOnComputeFailure(t *testing.T) {
+	g := smallGraph(t)
+	store := NewStore(NewMemFS(), "traces")
+	boom := ComputeFunc(func(ctx Context, v *Vertex, msgs []Value) error {
+		if v.ID() == 4 {
+			return errors.New("kaput")
+		}
+		v.VoteToHalt()
+		return nil
+	})
+	res, err := Run(g, boom, RunOptions{
+		JobID: "fail-test",
+		Store: store,
+		Debug: &DebugConfig{CaptureExceptions: true},
+	})
+	if err == nil {
+		t.Fatal("expected job failure")
+	}
+	if res == nil || res.Captures != 1 {
+		t.Fatalf("failure result = %+v", res)
+	}
+	db, err := store.LoadDB("fail-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := db.Capture(0, 4)
+	if c == nil || c.Exception == nil || c.Exception.Message != "kaput" {
+		t.Fatalf("capture = %+v", c)
+	}
+	if db.Result == nil || !strings.Contains(db.Result.Error, "kaput") {
+		t.Errorf("job.done = %+v", db.Result)
+	}
+}
+
+func TestEngineOverridesWin(t *testing.T) {
+	g := smallGraph(t)
+	// An explicit MaxSupersteps overrides the algorithm's suggestion.
+	res, err := RunAlgorithm(g, algorithms.NewRandomWalk(1, 50), RunOptions{
+		Engine: EngineConfig{MaxSupersteps: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Supersteps != 3 {
+		t.Errorf("supersteps = %d, want 3", res.Stats.Supersteps)
+	}
+}
+
+func TestValueConstructorsReexported(t *testing.T) {
+	if NewLong(5).Get() != 5 || NewText("x").Get() != "x" ||
+		NewDouble(1.5).Get() != 1.5 || NewShort(-2).Get() != -2 ||
+		NewInt(7).Get() != 7 || !NewBool(true).Get() {
+		t.Error("constructor values wrong")
+	}
+	if Nil().String() != "nil" {
+		t.Error("Nil")
+	}
+	if ValueString(nil) != "∅" || ValueString(NewLong(3)) != "3" {
+		t.Error("ValueString")
+	}
+}

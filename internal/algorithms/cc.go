@@ -1,0 +1,40 @@
+package algorithms
+
+import (
+	"graft/internal/pregel"
+)
+
+// NewConnectedComponents returns the HCC label-propagation algorithm:
+// every vertex converges to the minimum vertex ID in its (weakly
+// undirected: run it on a symmetrized graph) connected component. It
+// is the algorithm behind the paper's Figure 5, where vertex values
+// are vertex IDs.
+func NewConnectedComponents() *Algorithm {
+	return &Algorithm{
+		Name:     "cc",
+		Compute:  pregel.ComputeFunc(ccCompute),
+		Combiner: pregel.MinLongCombiner,
+	}
+}
+
+func ccCompute(ctx pregel.Context, v *pregel.Vertex, msgs []pregel.Value) error {
+	if ctx.Superstep() == 0 {
+		v.SetValue(pregel.NewLong(int64(v.ID())))
+		ctx.SendMessageToAllEdges(v, pregel.NewLong(int64(v.ID())))
+		v.VoteToHalt()
+		return nil
+	}
+	cur := v.Value().(*pregel.LongValue).Get()
+	min := cur
+	for _, m := range msgs {
+		if x := m.(*pregel.LongValue).Get(); x < min {
+			min = x
+		}
+	}
+	if min < cur {
+		v.SetValue(pregel.NewLong(min))
+		ctx.SendMessageToAllEdges(v, pregel.NewLong(min))
+	}
+	v.VoteToHalt()
+	return nil
+}

@@ -1,0 +1,70 @@
+package algorithms
+
+import (
+	"graft/internal/pregel"
+)
+
+// NewKCore returns k-core decomposition by iterative peeling: vertices
+// with (remaining) degree < k remove themselves and notify their
+// neighbors, which drop the corresponding edges; the process repeats
+// until the k-core (possibly empty) remains. Surviving vertices end
+// with BoolValue(true); peeled vertices are removed from the
+// computation but keep BoolValue(false) as their final value in the
+// input graph.
+//
+// The algorithm exists both as a useful library member and as the
+// exerciser of the engine's topology-mutation machinery (self removal,
+// edge removal, barrier resolution).
+func NewKCore(k int) *Algorithm {
+	return &Algorithm{
+		Name:    "kcore",
+		Compute: &kcore{k: k},
+		// Each peel round is two supersteps; depth is bounded by the
+		// vertex count, and any real graph peels in far fewer rounds.
+		MaxSupersteps: 1_000_000,
+	}
+}
+
+// kcore message: the ID of a peeled neighbor.
+type kcore struct {
+	k int
+}
+
+// Compute implements pregel.Computation. Even supersteps peel; odd
+// supersteps apply neighbor removals.
+func (kc *kcore) Compute(ctx pregel.Context, v *pregel.Vertex, msgs []pregel.Value) error {
+	if ctx.Superstep()%2 == 1 {
+		// Drop edges to neighbors peeled in the previous superstep.
+		for _, m := range msgs {
+			v.RemoveEdges(pregel.VertexID(m.(*pregel.LongValue).Get()))
+		}
+		return nil
+	}
+	// Peel phase: messages cannot arrive here (peeled vertices are
+	// gone and notifications were consumed in the odd superstep).
+	if v.NumEdges() < kc.k {
+		v.SetValue(pregel.NewBool(false))
+		ctx.SendMessageToAllEdges(v, pregel.NewLong(int64(v.ID())))
+		ctx.RemoveVertexRequest(v.ID())
+		v.VoteToHalt()
+		return nil
+	}
+	v.SetValue(pregel.NewBool(true))
+	// Survivors stay active: a neighbor's peel may drag them below k
+	// next round. Quiescence (no peels in a round) ends the job...
+	// but an active vertex never quiesces, so survivors vote to halt
+	// and are woken by removal notifications.
+	v.VoteToHalt()
+	return nil
+}
+
+// KCoreSize counts the surviving vertices after a k-core run.
+func KCoreSize(g *pregel.Graph) int64 {
+	var n int64
+	g.Each(func(v *pregel.Vertex) {
+		if b, ok := v.Value().(*pregel.BoolValue); ok && b.Get() {
+			n++
+		}
+	})
+	return n
+}

@@ -1,0 +1,73 @@
+package algorithms
+
+import (
+	"graft/internal/pregel"
+)
+
+// NewLabelPropagation returns synchronous label propagation community
+// detection: every vertex starts with its own ID as label and each
+// iteration adopts the most frequent label among its neighbors
+// (ties broken toward the smallest label, so runs are deterministic).
+// The master stops the job as soon as an iteration changes no labels,
+// or after maxIterations.
+func NewLabelPropagation(maxIterations int) *Algorithm {
+	return &Algorithm{
+		Name:    "lpa",
+		Compute: pregel.ComputeFunc(lpaCompute),
+		Master:  &lpaMaster{maxIterations: maxIterations},
+		Aggregators: []AggregatorSpec{
+			{Name: "changed", Agg: pregel.LongSumAggregator{}, Persistent: false},
+		},
+		MaxSupersteps: maxIterations + 2,
+	}
+}
+
+func lpaCompute(ctx pregel.Context, v *pregel.Vertex, msgs []pregel.Value) error {
+	if ctx.Superstep() == 0 {
+		v.SetValue(pregel.NewLong(int64(v.ID())))
+		ctx.SendMessageToAllEdges(v, pregel.NewLong(int64(v.ID())))
+		return nil
+	}
+	if len(msgs) == 0 {
+		v.VoteToHalt()
+		return nil
+	}
+	// Most frequent incoming label, smallest label on ties.
+	counts := make(map[int64]int, len(msgs))
+	best, bestCount := int64(0), 0
+	for _, m := range msgs {
+		label := m.(*pregel.LongValue).Get()
+		counts[label]++
+		c := counts[label]
+		if c > bestCount || (c == bestCount && label < best) {
+			best, bestCount = label, c
+		}
+	}
+	cur := v.Value().(*pregel.LongValue).Get()
+	if best != cur {
+		v.SetValue(pregel.NewLong(best))
+		ctx.Aggregate("changed", pregel.NewLong(1))
+	}
+	// Labels must flow every iteration regardless of change, since a
+	// neighbor's majority can shift without ours changing.
+	ctx.SendMessageToAllEdges(v, pregel.NewLong(best))
+	return nil
+}
+
+// lpaMaster halts once an iteration changes nothing.
+type lpaMaster struct {
+	maxIterations int
+}
+
+// Compute implements pregel.MasterComputation.
+func (m *lpaMaster) Compute(ctx pregel.MasterContext) error {
+	s := ctx.Superstep()
+	if s >= 2 && ctx.GetAggregated("changed").(*pregel.LongValue).Get() == 0 {
+		ctx.HaltComputation()
+		return nil
+	}
+	if s > m.maxIterations {
+		ctx.HaltComputation()
+	}
+	return nil
+}

@@ -1,0 +1,45 @@
+package algorithms
+
+// Deterministic per-vertex randomness. Randomized vertex programs must
+// be pure functions of their context for Graft's context reproduction
+// to replay them faithfully, so instead of shared RNG state they hash
+// (seed, vertex ID, superstep, draw index) with splitmix64.
+
+// mix64 is the splitmix64 finalizer.
+func mix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// VertexRand returns a deterministic 64-bit value for one draw inside
+// one vertex's compute call.
+func VertexRand(seed int64, id int64, superstep int, draw uint64) uint64 {
+	h := mix64(uint64(seed))
+	h = mix64(h ^ uint64(id))
+	h = mix64(h ^ uint64(superstep))
+	return mix64(h ^ draw)
+}
+
+// vertexRandStream is a cheap in-compute RNG seeded from the vertex
+// context, for loops that need many draws (the random walk's
+// per-walker choices).
+type vertexRandStream struct {
+	state uint64
+}
+
+func newVertexRandStream(seed int64, id int64, superstep int) vertexRandStream {
+	return vertexRandStream{state: VertexRand(seed, id, superstep, 0)}
+}
+
+// next returns the next pseudo-random 64-bit value.
+func (r *vertexRandStream) next() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	return mix64(r.state)
+}
+
+// intn returns a value in [0, n).
+func (r *vertexRandStream) intn(n int) int {
+	return int(r.next() % uint64(n))
+}

@@ -1,0 +1,96 @@
+package algorithms
+
+import (
+	"strings"
+	"testing"
+
+	"graft/internal/pregel"
+)
+
+// roundTrip encodes v through the self-describing codec and back.
+func roundTrip(t *testing.T, v pregel.Value) pregel.Value {
+	t.Helper()
+	got, err := pregel.UnmarshalValue(pregel.MarshalValue(v))
+	if err != nil {
+		t.Fatalf("round trip of %v: %v", v, err)
+	}
+	return got
+}
+
+func TestAlgorithmValueRoundTrips(t *testing.T) {
+	values := []pregel.Value{
+		&GCValue{Color: -1, State: GCUndecided},
+		&GCValue{Color: 7, State: GCColored, Priority: 1 << 60},
+		&GCValue{State: GCTentativelyInSet, Priority: 42},
+		&GCMessage{Type: GCMsgPriority, From: 672, Priority: 99},
+		&GCMessage{Type: GCMsgNbrInSet, From: 671},
+		&MWMValue{MatchedTo: -1},
+		&MWMValue{MatchedTo: 55, Matched: true},
+		&MWMMessage{Type: MWMMsgPropose, From: 12},
+		&MWMMessage{Type: MWMMsgRemoved, From: -3},
+		&RWMessage{Sixteen: true, Short: -32768},
+		&RWMessage{Sixteen: false, Wide: 1 << 40},
+	}
+	for _, v := range values {
+		got := roundTrip(t, v)
+		if !pregel.ValuesEqual(v, got) {
+			t.Errorf("%s: round trip %v -> %v", v.TypeName(), v, got)
+		}
+		// Clone is independent of the original.
+		c := v.Clone()
+		if !pregel.ValuesEqual(v, c) {
+			t.Errorf("%s: clone differs", v.TypeName())
+		}
+	}
+}
+
+func TestAlgorithmValueStrings(t *testing.T) {
+	cases := []struct {
+		v    pregel.Value
+		want string
+	}{
+		{&GCValue{Color: 3, State: GCColored}, "COLORED(3)"},
+		{&GCValue{State: GCTentativelyInSet}, "TENTATIVELY_IN_SET"},
+		{&GCValue{State: GCNotInSet}, "NOT_IN_SET"},
+		{&GCValue{State: GCUndecided}, "UNDECIDED"},
+		{&GCValue{State: GCInSet}, "IN_SET"},
+		{&GCMessage{Type: GCMsgNbrInSet, From: 671}, "NBR_IN_SET(671)"},
+		{&GCMessage{Type: GCMsgPriority, From: 1, Priority: 9}, "PRIORITY(1, 9)"},
+		{&MWMValue{MatchedTo: 4, Matched: true}, "MATCHED(4)"},
+		{&MWMValue{MatchedTo: -1}, "UNMATCHED"},
+		{&MWMMessage{Type: MWMMsgPropose, From: 8}, "PROPOSE(8)"},
+		{&MWMMessage{Type: MWMMsgRemoved, From: 8}, "REMOVED(8)"},
+		{&RWMessage{Sixteen: true, Short: -5}, "-5"},
+		{&RWMessage{Wide: 70000}, "70000"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+	// Unknown state values degrade gracefully.
+	if s := GCState(99).String(); !strings.Contains(s, "99") {
+		t.Errorf("unknown state string %q", s)
+	}
+}
+
+func TestRWMessageCount(t *testing.T) {
+	if (&RWMessage{Sixteen: true, Short: -1}).Count() != -1 {
+		t.Error("16-bit count")
+	}
+	if (&RWMessage{Wide: 5}).Count() != 5 {
+		t.Error("wide count")
+	}
+}
+
+func TestNonNegativeRWMessages(t *testing.T) {
+	if !NonNegativeRWMessages(&RWMessage{Wide: 3}, 0, 1, 0) {
+		t.Error("positive rejected")
+	}
+	if NonNegativeRWMessages(&RWMessage{Sixteen: true, Short: -3}, 0, 1, 0) {
+		t.Error("negative accepted")
+	}
+	if !NonNegativeRWMessages(pregel.NewText("x"), 0, 1, 0) {
+		t.Error("non-RW message should pass")
+	}
+}

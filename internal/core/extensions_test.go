@@ -1,0 +1,129 @@
+package core
+
+// Tests for the paper's §7 future-work extensions implemented here:
+// destination-value-dependent message constraints, adjacency pair
+// checking over traces, and (in repro) per-vertex suite generation.
+
+import (
+	"testing"
+
+	"graft/internal/algorithms"
+	"graft/internal/graphgen"
+	"graft/internal/pregel"
+	"graft/internal/trace"
+)
+
+func TestIncomingMessageConstraint(t *testing.T) {
+	// Each vertex's value is its ID; the constraint demands that
+	// received messages are strictly smaller than the receiver's
+	// value. Vertices message their neighbors with their own ID, so a
+	// violation occurs exactly when a higher-ID neighbor messages a
+	// lower-ID vertex.
+	comp := pregel.ComputeFunc(func(ctx pregel.Context, v *pregel.Vertex, msgs []pregel.Value) error {
+		if ctx.Superstep() == 0 {
+			v.SetValue(pregel.NewLong(int64(v.ID())))
+			ctx.SendMessageToAllEdges(v, pregel.NewLong(int64(v.ID())))
+		}
+		if ctx.Superstep() >= 1 {
+			v.VoteToHalt()
+		}
+		return nil
+	})
+	alg := &algorithms.Algorithm{Name: "incoming", Compute: comp}
+	g := pregel.NewGraph()
+	for i := 0; i < 4; i++ {
+		g.AddVertex(pregel.VertexID(i), pregel.NewLong(int64(i)))
+	}
+	// Path 0-1-2-3.
+	for i := 0; i < 3; i++ {
+		if err := g.AddUndirectedEdge(pregel.VertexID(i), pregel.VertexID(i+1), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db, _, err := runDebugged(t, alg, g, pregel.Config{}, DebugConfig{
+		IncomingMessageConstraint: func(msg, destValue pregel.Value, dst pregel.VertexID, superstep int) bool {
+			m, mok := msg.(*pregel.LongValue)
+			d, dok := destValue.(*pregel.LongValue)
+			return !mok || !dok || m.Get() < d.Get()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At superstep 1: vertex 0 receives 1 (violation), vertex 1
+	// receives 0 (ok) and 2 (violation), vertex 2 receives 1 (ok) and
+	// 3 (violation), vertex 3 receives 2 (ok).
+	captured := db.CapturedVertexIDs()
+	if len(captured) != 3 || captured[0] != 0 || captured[1] != 1 || captured[2] != 2 {
+		t.Fatalf("captured = %v, want [0 1 2]", captured)
+	}
+	c := db.Capture(1, 1)
+	if !c.Reasons.Has(trace.ReasonIncomingConstraint) {
+		t.Errorf("reasons = %v", c.Reasons)
+	}
+	if len(c.Violations) != 1 || c.Violations[0].Kind != trace.IncomingMessageViolation {
+		t.Fatalf("violations = %+v", c.Violations)
+	}
+	if c.Violations[0].SrcID != -1 || c.Violations[0].DstID != 1 {
+		t.Errorf("violation endpoints = %+v", c.Violations[0])
+	}
+	if !pregel.ValuesEqual(c.Violations[0].Value, pregel.NewLong(2)) {
+		t.Errorf("offending value = %v", c.Violations[0].Value)
+	}
+	// The M box counts incoming-message violations.
+	if !db.StatusAt(1).MessageViolation {
+		t.Error("M box not red")
+	}
+	// ValueBefore must be available: incoming constraints imply
+	// dynamic constraint snapshotting.
+	if c.ValueBefore == nil {
+		t.Error("ValueBefore missing for constraint capture")
+	}
+}
+
+func TestCheckAdjacentPairsFindsColorConflicts(t *testing.T) {
+	// The §7 example constraint: "no two adjacent vertices should be
+	// assigned the same color". Run the buggy GC with all-active
+	// capture and check pairs post hoc over the trace.
+	g := graphgen.RegularBipartite(200, 3)
+	alg := algorithms.NewBuggyGraphColoring(42)
+	db, _, err := runDebugged(t, alg, g, pregel.Config{}, DebugConfig{
+		CaptureAllActive: true,
+		MaxCaptures:      -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameColor := func(a, b *trace.VertexCapture) bool {
+		av, aok := a.ValueAfter.(*algorithms.GCValue)
+		bv, bok := b.ValueAfter.(*algorithms.GCValue)
+		if !aok || !bok || av.State != algorithms.GCColored || bv.State != algorithms.GCColored {
+			return true // only fully colored pairs are checkable
+		}
+		return av.Color != bv.Color
+	}
+	violations := db.CheckAdjacentPairs(sameColor)
+	if len(violations) == 0 {
+		t.Fatal("buggy GC produced no adjacent same-color pairs in the trace")
+	}
+	for _, pv := range violations {
+		ac := pv.A.ValueAfter.(*algorithms.GCValue).Color
+		bc := pv.B.ValueAfter.(*algorithms.GCValue).Color
+		if ac != bc {
+			t.Errorf("reported pair (%d,%d) has colors %d vs %d", pv.A.ID, pv.B.ID, ac, bc)
+		}
+	}
+
+	// The fixed algorithm yields no violations.
+	g2 := graphgen.RegularBipartite(200, 3)
+	db2, _, err := runDebugged(t, algorithms.NewGraphColoring(42), g2, pregel.Config{}, DebugConfig{
+		CaptureAllActive: true,
+		MaxCaptures:      -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad := db2.CheckAdjacentPairs(sameColor); len(bad) != 0 {
+		t.Errorf("fixed GC flagged %d pairs", len(bad))
+	}
+}

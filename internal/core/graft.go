@@ -1,0 +1,454 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"graft/internal/pregel"
+	"graft/internal/trace"
+)
+
+// Graft is one attached debugging session: it selects capture targets,
+// instruments the computations, listens to the job and writes trace
+// files. Attach it to exactly one job run.
+//
+// Wiring (the root graft package bundles these steps):
+//
+//	g, _ := core.Attach(store, opts, graph, debugConfig)
+//	comp = g.Instrument(comp)
+//	cfg.Master = g.InstrumentMaster(cfg.Master)
+//	cfg.Listener = g // or g.Chain(existing)
+type Graft struct {
+	cfg     DebugConfig
+	jobID   string
+	jw      *trace.JobWriter
+	reasons map[pregel.VertexID]trace.Reason
+	// rcs holds one reusable recording context per worker: a worker
+	// executes its vertices sequentially, so per-compute-call state can
+	// be recycled instead of allocated, keeping the instrumentation
+	// overhead near the paper's.
+	rcs []recordingContext
+
+	captures atomic.Int64
+	limitHit atomic.Bool
+
+	writeMu  sync.Mutex // serializes error recording only
+	writeErr error
+
+	inner pregel.JobListener
+	start time.Time
+}
+
+// Options identifies the job being debugged.
+type Options struct {
+	// JobID names the trace directory; must be unique per run.
+	JobID string
+	// Algorithm is a human-readable computation name for the GUI.
+	Algorithm string
+	// Description optionally describes the run (dataset, parameters).
+	Description string
+	// NumWorkers must match the pregel.Config the job will run with.
+	NumWorkers int
+}
+
+// Attach creates a Graft session: it validates the DebugConfig,
+// selects the static capture targets from the graph (by-ID, random,
+// neighbors), writes the job manifest and opens the trace files.
+func Attach(store *trace.Store, opts Options, graph *pregel.Graph, cfg DebugConfig) (*Graft, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.NumWorkers <= 0 {
+		opts.NumWorkers = pregel.DefaultNumWorkers
+	}
+	g := &Graft{
+		cfg:     cfg,
+		jobID:   opts.JobID,
+		reasons: selectTargets(graph, &cfg),
+		rcs:     make([]recordingContext, opts.NumWorkers),
+		start:   time.Now(),
+	}
+	jw, err := store.NewJobWriter(trace.JobMeta{
+		JobID:       opts.JobID,
+		Algorithm:   opts.Algorithm,
+		Description: opts.Description,
+		NumWorkers:  opts.NumWorkers,
+		NumVertices: graph.NumVertices(),
+		NumEdges:    graph.NumEdges(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	g.jw = jw
+	return g, nil
+}
+
+// selectTargets computes the static capture set: explicit IDs, the
+// seeded random sample, and (optionally) the out-neighbors of both.
+func selectTargets(graph *pregel.Graph, cfg *DebugConfig) map[pregel.VertexID]trace.Reason {
+	m := make(map[pregel.VertexID]trace.Reason)
+	for _, id := range cfg.CaptureIDs {
+		m[id] |= trace.ReasonByID
+	}
+	if cfg.NumRandomCaptures > 0 {
+		ids := graph.VertexIDs()
+		rng := rand.New(rand.NewSource(cfg.RandomSeed))
+		k := cfg.NumRandomCaptures
+		if k > len(ids) {
+			k = len(ids)
+		}
+		// Partial Fisher-Yates: the first k positions become the sample.
+		for i := 0; i < k; i++ {
+			j := i + rng.Intn(len(ids)-i)
+			ids[i], ids[j] = ids[j], ids[i]
+			m[ids[i]] |= trace.ReasonRandom
+		}
+	}
+	if cfg.CaptureNeighbors {
+		var targets []pregel.VertexID
+		for id, r := range m {
+			if r.Has(trace.ReasonByID) || r.Has(trace.ReasonRandom) {
+				targets = append(targets, id)
+			}
+		}
+		for _, id := range targets {
+			v := graph.Vertex(id)
+			if v == nil {
+				continue
+			}
+			for _, e := range v.Edges() {
+				m[e.Target] |= trace.ReasonNeighbor
+			}
+		}
+	}
+	return m
+}
+
+// JobID returns the session's job ID.
+func (g *Graft) JobID() string { return g.jobID }
+
+// Captures returns the number of capture records written so far.
+func (g *Graft) Captures() int64 { return g.captures.Load() }
+
+// LimitHit reports whether the MaxCaptures safety net engaged.
+func (g *Graft) LimitHit() bool { return g.limitHit.Load() }
+
+// Targets returns the static capture set with selection reasons.
+func (g *Graft) Targets() map[pregel.VertexID]trace.Reason {
+	out := make(map[pregel.VertexID]trace.Reason, len(g.reasons))
+	for id, r := range g.reasons {
+		out[id] = r
+	}
+	return out
+}
+
+// Err returns the first trace-write failure, if any. Write failures do
+// not abort the debugged job; they surface here and in job.done.
+func (g *Graft) Err() error {
+	g.writeMu.Lock()
+	defer g.writeMu.Unlock()
+	return g.writeErr
+}
+
+func (g *Graft) recordWriteErr(err error) {
+	g.writeMu.Lock()
+	if g.writeErr == nil {
+		g.writeErr = err
+	}
+	g.writeMu.Unlock()
+}
+
+// Chain makes Graft forward listener callbacks to next, so callers can
+// keep their own JobListener while debugging.
+func (g *Graft) Chain(next pregel.JobListener) *Graft {
+	g.inner = next
+	return g
+}
+
+// Instrument wraps the user computation with Graft's capture logic:
+// the Go equivalent of the paper's Javassist-based Instrumenter.
+func (g *Graft) Instrument(comp pregel.Computation) pregel.Computation {
+	return &instrumentedComputation{g: g, user: comp}
+}
+
+// InstrumentMaster wraps a master computation so its context
+// (aggregator values before/after, Set calls, halt decisions) is
+// captured every observed superstep. A nil master stays nil.
+func (g *Graft) InstrumentMaster(m pregel.MasterComputation) pregel.MasterComputation {
+	if m == nil {
+		return nil
+	}
+	return &instrumentedMaster{g: g, user: m}
+}
+
+// JobStarted implements pregel.JobListener.
+func (g *Graft) JobStarted(info pregel.JobInfo) {
+	if g.inner != nil {
+		g.inner.JobStarted(info)
+	}
+}
+
+// SuperstepStarted implements pregel.JobListener: it records the
+// superstep's global data (totals + aggregator broadcast) that every
+// vertex capture of the superstep shares.
+func (g *Graft) SuperstepStarted(superstep int, info pregel.SuperstepInfo) {
+	if g.cfg.observes(superstep) {
+		err := g.jw.Master().WriteSuperstepMeta(&trace.SuperstepMeta{
+			Superstep:   superstep,
+			NumVertices: info.NumVertices,
+			NumEdges:    info.NumEdges,
+			Aggregated:  info.Aggregated,
+		})
+		if err != nil {
+			g.recordWriteErr(err)
+		}
+	}
+	if g.inner != nil {
+		g.inner.SuperstepStarted(superstep, info)
+	}
+}
+
+// SuperstepFinished implements pregel.JobListener.
+func (g *Graft) SuperstepFinished(superstep int, stats pregel.SuperstepStats) {
+	if g.inner != nil {
+		g.inner.SuperstepFinished(superstep, stats)
+	}
+}
+
+// JobFinished implements pregel.JobListener: it closes every trace
+// file and writes job.done.
+func (g *Graft) JobFinished(stats *pregel.Stats, err error) {
+	res := trace.JobResult{
+		Captures:        g.captures.Load(),
+		CaptureLimitHit: g.limitHit.Load(),
+		RuntimeMillis:   time.Since(g.start).Milliseconds(),
+	}
+	if stats != nil {
+		res.Supersteps = stats.Supersteps
+		res.Reason = stats.Reason.String()
+	}
+	if err != nil {
+		res.Error = err.Error()
+	}
+	if g.writeErr != nil && res.Error == "" {
+		res.Error = fmt.Sprintf("trace write: %v", g.writeErr)
+	}
+	if ferr := g.jw.Finish(res); ferr != nil {
+		g.recordWriteErr(ferr)
+	}
+	if g.inner != nil {
+		g.inner.JobFinished(stats, err)
+	}
+}
+
+// instrumentedComputation is the wrapper the Instrumenter installs
+// around the user's Computation (paper §3.1): it calls the original
+// compute with a recording context, then decides whether to capture.
+type instrumentedComputation struct {
+	g    *Graft
+	user pregel.Computation
+}
+
+// Compute implements pregel.Computation.
+func (ic *instrumentedComputation) Compute(ctx pregel.Context, v *pregel.Vertex, msgs []pregel.Value) error {
+	g := ic.g
+	superstep := ctx.Superstep()
+	if !g.cfg.observes(superstep) {
+		return ic.user.Compute(ctx, v, msgs)
+	}
+
+	staticReason := g.reasons[v.ID()]
+	needPre := staticReason != 0 || g.cfg.CaptureAllActive
+	// The pre-compute value is snapshotted only when a capture might
+	// need it: for statically selected vertices, capture-all-active,
+	// and whenever constraints could trigger a capture of any vertex.
+	// Exception-triggered captures of other vertices cannot be
+	// predicted, so — like the Java Graft, which logs the context only
+	// when compute finishes — their ValueBefore is unavailable (nil)
+	// and replay starts from the value at capture time.
+	var valueBefore pregel.Value
+	if needPre || g.cfg.hasDynamicConstraints() {
+		valueBefore = pregel.CloneValue(v.Value())
+	}
+	var edgesBefore []pregel.Edge
+	if needPre {
+		edgesBefore = cloneEdges(v.Edges())
+	}
+
+	worker := ctx.WorkerID()
+	if worker >= len(g.rcs) {
+		panic(fmt.Sprintf("core: job runs with at least %d workers but Attach was told %d; "+
+			"Options.NumWorkers must match pregel.Config.NumWorkers", worker+1, len(g.rcs)))
+	}
+	rec := &g.rcs[worker]
+	rec.reset(ctx, g, v)
+
+	// The §7 extension: message constraints that depend on the value
+	// of the destination vertex, checked at delivery time where that
+	// value is known.
+	sawIncomingViolation := false
+	if g.cfg.IncomingMessageConstraint != nil {
+		for _, m := range msgs {
+			if !g.cfg.IncomingMessageConstraint(m, v.Value(), v.ID(), superstep) {
+				sawIncomingViolation = true
+				rec.violations = append(rec.violations, trace.Violation{
+					Kind:  trace.IncomingMessageViolation,
+					SrcID: -1,
+					DstID: v.ID(),
+					Value: pregel.CloneValue(m),
+				})
+			}
+		}
+	}
+
+	var exc *trace.ExceptionInfo
+	err := func() (err error) {
+		defer func() {
+			if p := recover(); p != nil {
+				stack := string(debug.Stack())
+				exc = &trace.ExceptionInfo{Message: fmt.Sprint(p), Stack: stack}
+				err = &PanicError{Value: p, Stack: stack}
+			}
+		}()
+		return ic.user.Compute(rec, v, msgs)
+	}()
+	if err != nil && exc == nil {
+		exc = &trace.ExceptionInfo{Message: err.Error()}
+	}
+
+	reasons := staticReason
+	if g.cfg.CaptureAllActive {
+		reasons |= trace.ReasonAllActive
+	}
+	if err == nil && g.cfg.VertexValueConstraint != nil &&
+		!g.cfg.VertexValueConstraint(v.Value(), v.ID(), superstep) {
+		reasons |= trace.ReasonVertexConstraint
+		rec.violations = append(rec.violations, trace.Violation{
+			Kind:  trace.VertexValueViolation,
+			SrcID: v.ID(),
+			DstID: v.ID(),
+			Value: pregel.CloneValue(v.Value()),
+		})
+	}
+	if rec.sawMsgViolation {
+		reasons |= trace.ReasonMessageConstraint
+	}
+	if sawIncomingViolation {
+		reasons |= trace.ReasonIncomingConstraint
+	}
+	if err != nil && g.cfg.CaptureExceptions {
+		reasons |= trace.ReasonException
+	}
+	if reasons != 0 {
+		g.capture(ctx, v, msgs, rec, reasons, valueBefore, edgesBefore, exc)
+	}
+	return err
+}
+
+// capture writes one vertex capture record, respecting the MaxCaptures
+// safety net. Values are deep-copied here — only for vertices that are
+// actually captured — so the record is immune to later mutation.
+func (g *Graft) capture(ctx pregel.Context, v *pregel.Vertex, msgs []pregel.Value,
+	rec *recordingContext, reasons trace.Reason,
+	valueBefore pregel.Value, edgesBefore []pregel.Edge, exc *trace.ExceptionInfo) {
+
+	if max := g.cfg.maxCaptures(); max >= 0 {
+		if n := g.captures.Add(1); n > max {
+			g.captures.Add(-1)
+			g.limitHit.Store(true)
+			return
+		}
+	} else {
+		g.captures.Add(1)
+	}
+
+	c := &trace.VertexCapture{
+		Superstep:   ctx.Superstep(),
+		Worker:      ctx.WorkerID(),
+		ID:          v.ID(),
+		Reasons:     reasons,
+		ValueBefore: valueBefore,
+		ValueAfter:  pregel.CloneValue(v.Value()),
+		HaltedAfter: v.Halted(),
+		Violations:  rec.violations,
+		Exception:   exc,
+	}
+	if edgesBefore != nil {
+		c.Edges = edgesBefore
+		c.EdgesPreCompute = true
+	} else {
+		c.Edges = cloneEdges(v.Edges())
+	}
+	c.Incoming = make([]pregel.Value, len(msgs))
+	for i, m := range msgs {
+		c.Incoming[i] = pregel.CloneValue(m)
+	}
+	c.Outgoing = make([]trace.OutMsg, len(rec.outgoing))
+	for i, m := range rec.outgoing {
+		c.Outgoing[i] = trace.OutMsg{To: m.To, Value: pregel.CloneValue(m.Value)}
+	}
+	if err := g.jw.Worker(ctx.WorkerID()).WriteVertexCapture(c); err != nil {
+		g.recordWriteErr(err)
+	}
+}
+
+func cloneEdges(edges []pregel.Edge) []pregel.Edge {
+	out := make([]pregel.Edge, len(edges))
+	for i, e := range edges {
+		out[i] = pregel.Edge{Target: e.Target, Value: pregel.CloneValue(e.Value)}
+	}
+	return out
+}
+
+// recordingContext intercepts message sends to check the message
+// constraint and to remember what a captured vertex sent. Instances
+// are recycled per worker; reset prepares one for the next vertex.
+type recordingContext struct {
+	pregel.Context
+	g *Graft
+	v *pregel.Vertex
+
+	outgoing        []trace.OutMsg
+	violations      []trace.Violation
+	sawMsgViolation bool
+}
+
+func (c *recordingContext) reset(ctx pregel.Context, g *Graft, v *pregel.Vertex) {
+	c.Context, c.g, c.v = ctx, g, v
+	c.outgoing = c.outgoing[:0]
+	c.violations = nil // retained by the capture record, so never reused
+	c.sawMsgViolation = false
+}
+
+// SendMessage implements pregel.Context.
+func (c *recordingContext) SendMessage(to pregel.VertexID, msg pregel.Value) {
+	g := c.g
+	if g.cfg.MessageConstraint != nil &&
+		!g.cfg.MessageConstraint(msg, c.v.ID(), to, c.Context.Superstep()) {
+		c.sawMsgViolation = true
+		c.violations = append(c.violations, trace.Violation{
+			Kind:  trace.MessageViolation,
+			SrcID: c.v.ID(),
+			DstID: to,
+			Value: pregel.CloneValue(msg),
+		})
+	}
+	c.outgoing = append(c.outgoing, trace.OutMsg{To: to, Value: msg})
+	c.Context.SendMessage(to, msg)
+}
+
+// SendMessageToAllEdges implements pregel.Context, routing every copy
+// through the recording SendMessage.
+func (c *recordingContext) SendMessageToAllEdges(v *pregel.Vertex, msg pregel.Value) {
+	for i, e := range v.Edges() {
+		m := msg
+		if i > 0 {
+			m = msg.Clone()
+		}
+		c.SendMessage(e.Target, m)
+	}
+}

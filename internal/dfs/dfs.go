@@ -1,0 +1,92 @@
+// Package dfs provides the file-system substrate Graft writes trace
+// files into and the engine checkpoints into. Giraph stores traces in
+// HDFS; this package supplies three interchangeable stand-ins:
+//
+//   - MemFS: in-memory, for tests and benchmarks.
+//   - LocalFS: a directory on local disk, for the CLI tools.
+//   - Cluster: an in-process simulation of a distributed file system
+//     with a namenode, chunked blocks, replication and datanode
+//     failures, preserving the behaviour that matters to Graft (shared
+//     namespace across concurrently writing workers, durability under
+//     single-node failure).
+//
+// All implementations satisfy the same structural interface, which is
+// also declared (identically) as pregel.FileSystem.
+package dfs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// FileSystem is the minimal file-system contract: whole-file create,
+// open, prefix listing and removal. Paths are slash-separated keys;
+// directories are implicit.
+type FileSystem interface {
+	// Create opens a new file for writing, truncating any existing
+	// file at the path. The file becomes visible atomically on Close.
+	Create(path string) (io.WriteCloser, error)
+	// Open opens an existing file for reading.
+	Open(path string) (io.ReadCloser, error)
+	// List returns the paths of all files whose names start with
+	// prefix, in lexicographic order.
+	List(prefix string) ([]string, error)
+	// Remove deletes a file.
+	Remove(path string) error
+}
+
+// ErrNotExist is returned when opening or removing a missing path.
+var ErrNotExist = errors.New("dfs: file does not exist")
+
+// ErrBlockUnavailable is returned by Cluster reads when every replica
+// of some block lives on a dead datanode.
+var ErrBlockUnavailable = errors.New("dfs: no live replica for block")
+
+// ErrNoDataNodes is returned by Cluster writes when no datanode is
+// alive.
+var ErrNoDataNodes = errors.New("dfs: no live datanodes")
+
+// validatePath rejects empty and escaping paths. Keys may contain
+// slashes but no ".." segments and must be relative.
+func validatePath(path string) error {
+	if path == "" {
+		return errors.New("dfs: empty path")
+	}
+	if strings.HasPrefix(path, "/") {
+		return fmt.Errorf("dfs: absolute path %q", path)
+	}
+	for _, seg := range strings.Split(path, "/") {
+		if seg == ".." {
+			return fmt.Errorf("dfs: path %q escapes root", path)
+		}
+		if seg == "" {
+			return fmt.Errorf("dfs: path %q has empty segment", path)
+		}
+	}
+	return nil
+}
+
+// WriteFile writes data to path in one call.
+func WriteFile(fs FileSystem, path string, data []byte) error {
+	w, err := fs.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(data); err != nil {
+		w.Close()
+		return err
+	}
+	return w.Close()
+}
+
+// ReadFile reads the whole file at path.
+func ReadFile(fs FileSystem, path string) ([]byte, error) {
+	r, err := fs.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	return io.ReadAll(r)
+}

@@ -1,0 +1,350 @@
+package dfs
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// DefaultBlockSize is the chunk size for Cluster files. Real HDFS uses
+// 64-128 MB; trace files are small, so the simulated default is 64 KiB
+// to make multi-block paths actually exercise block logic.
+const DefaultBlockSize = 64 << 10
+
+// Cluster simulates a distributed file system: a namenode maps file
+// paths to block lists, and each block is replicated on several
+// datanodes. Datanodes can be killed and revived; reads fall back
+// across replicas, and Rereplicate heals under-replicated blocks, so
+// Graft traces survive single-node failures the way HDFS-backed traces
+// do.
+type Cluster struct {
+	mu          sync.RWMutex
+	nodes       []*DataNode
+	files       map[string][]blockID
+	replication int
+	blockSize   int
+	nextBlock   blockID
+	nextNode    int // round-robin placement cursor
+}
+
+type blockID int64
+
+// DataNode is one simulated storage node.
+type DataNode struct {
+	mu     sync.RWMutex
+	id     int
+	alive  bool
+	blocks map[blockID][]byte
+}
+
+// ID returns the node's index in the cluster.
+func (n *DataNode) ID() int { return n.id }
+
+// Alive reports whether the node is up.
+func (n *DataNode) Alive() bool {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.alive
+}
+
+// NumBlocks returns how many block replicas the node stores.
+func (n *DataNode) NumBlocks() int {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return len(n.blocks)
+}
+
+func (n *DataNode) put(id blockID, data []byte) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !n.alive {
+		return false
+	}
+	n.blocks[id] = data
+	return true
+}
+
+func (n *DataNode) get(id blockID) ([]byte, bool) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	if !n.alive {
+		return nil, false
+	}
+	data, ok := n.blocks[id]
+	return data, ok
+}
+
+func (n *DataNode) drop(id blockID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.blocks, id)
+}
+
+// NewCluster creates a cluster with numNodes datanodes, the given
+// replication factor (clamped to numNodes) and block size (0 means
+// DefaultBlockSize).
+func NewCluster(numNodes, replication, blockSize int) *Cluster {
+	if numNodes < 1 {
+		numNodes = 1
+	}
+	if replication < 1 {
+		replication = 1
+	}
+	if replication > numNodes {
+		replication = numNodes
+	}
+	if blockSize <= 0 {
+		blockSize = DefaultBlockSize
+	}
+	c := &Cluster{
+		files:       make(map[string][]blockID),
+		replication: replication,
+		blockSize:   blockSize,
+	}
+	for i := 0; i < numNodes; i++ {
+		c.nodes = append(c.nodes, &DataNode{id: i, alive: true, blocks: map[blockID][]byte{}})
+	}
+	return c
+}
+
+// Node returns the i-th datanode, for failure injection in tests.
+func (c *Cluster) Node(i int) *DataNode { return c.nodes[i] }
+
+// NumNodes returns the datanode count.
+func (c *Cluster) NumNodes() int { return len(c.nodes) }
+
+// Kill marks a datanode dead; its replicas become unreadable.
+func (c *Cluster) Kill(node int) {
+	n := c.nodes[node]
+	n.mu.Lock()
+	n.alive = false
+	n.mu.Unlock()
+}
+
+// Revive brings a killed datanode back with its blocks intact (a
+// transient failure, not a disk loss).
+func (c *Cluster) Revive(node int) {
+	n := c.nodes[node]
+	n.mu.Lock()
+	n.alive = true
+	n.mu.Unlock()
+}
+
+// Create implements FileSystem.
+func (c *Cluster) Create(path string) (io.WriteCloser, error) {
+	if err := validatePath(path); err != nil {
+		return nil, err
+	}
+	return &clusterWriter{c: c, path: path}, nil
+}
+
+// placeBlock stores data on `replication` live datanodes, chosen
+// round-robin. It returns an error only when no node is alive.
+func (c *Cluster) placeBlock(data []byte) (blockID, error) {
+	c.mu.Lock()
+	id := c.nextBlock
+	c.nextBlock++
+	placed := 0
+	for try := 0; try < len(c.nodes) && placed < c.replication; try++ {
+		n := c.nodes[c.nextNode%len(c.nodes)]
+		c.nextNode++
+		if n.put(id, data) {
+			placed++
+		}
+	}
+	c.mu.Unlock()
+	if placed == 0 {
+		return 0, ErrNoDataNodes
+	}
+	return id, nil
+}
+
+func (c *Cluster) commit(path string, blocks []blockID) {
+	c.mu.Lock()
+	if old, ok := c.files[path]; ok {
+		c.freeBlocks(old)
+	}
+	c.files[path] = blocks
+	c.mu.Unlock()
+}
+
+// freeBlocks drops replicas; caller holds c.mu.
+func (c *Cluster) freeBlocks(blocks []blockID) {
+	for _, b := range blocks {
+		for _, n := range c.nodes {
+			n.drop(b)
+		}
+	}
+}
+
+// Open implements FileSystem.
+func (c *Cluster) Open(path string) (io.ReadCloser, error) {
+	c.mu.RLock()
+	blocks, ok := c.files[path]
+	c.mu.RUnlock()
+	if !ok {
+		return nil, ErrNotExist
+	}
+	// Assemble eagerly: trace files are small and an eager read gives
+	// a single, clear failure point when replicas are gone.
+	var buf bytes.Buffer
+	for _, b := range blocks {
+		data, ok := c.readBlock(b)
+		if !ok {
+			return nil, fmt.Errorf("%w: block %d of %q", ErrBlockUnavailable, b, path)
+		}
+		buf.Write(data)
+	}
+	return io.NopCloser(&buf), nil
+}
+
+func (c *Cluster) readBlock(b blockID) ([]byte, bool) {
+	for _, n := range c.nodes {
+		if data, ok := n.get(b); ok {
+			return data, true
+		}
+	}
+	return nil, false
+}
+
+// List implements FileSystem.
+func (c *Cluster) List(prefix string) ([]string, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var names []string
+	for name := range c.files {
+		if len(name) >= len(prefix) && name[:len(prefix)] == prefix {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Remove implements FileSystem.
+func (c *Cluster) Remove(path string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	blocks, ok := c.files[path]
+	if !ok {
+		return ErrNotExist
+	}
+	c.freeBlocks(blocks)
+	delete(c.files, path)
+	return nil
+}
+
+// UnderReplicated returns the number of blocks with fewer than the
+// target number of live replicas.
+func (c *Cluster) UnderReplicated() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	count := 0
+	for _, blocks := range c.files {
+		for _, b := range blocks {
+			if c.liveReplicas(b) < c.replication {
+				count++
+			}
+		}
+	}
+	return count
+}
+
+func (c *Cluster) liveReplicas(b blockID) int {
+	n := 0
+	for _, node := range c.nodes {
+		if _, ok := node.get(b); ok {
+			n++
+		}
+	}
+	return n
+}
+
+// Rereplicate copies under-replicated blocks from a live replica onto
+// live nodes that lack them, restoring the replication factor where
+// possible. It returns the number of new replicas created.
+func (c *Cluster) Rereplicate() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	created := 0
+	for _, blocks := range c.files {
+		for _, b := range blocks {
+			live := c.liveReplicas(b)
+			if live == 0 || live >= c.replication {
+				continue
+			}
+			data, _ := c.readBlock(b)
+			for _, n := range c.nodes {
+				if live >= c.replication {
+					break
+				}
+				if _, has := n.get(b); has || !n.Alive() {
+					continue
+				}
+				if n.put(b, data) {
+					live++
+					created++
+				}
+			}
+		}
+	}
+	return created
+}
+
+type clusterWriter struct {
+	c      *Cluster
+	path   string
+	buf    bytes.Buffer
+	blocks []blockID
+	closed bool
+	err    error
+}
+
+func (w *clusterWriter) Write(p []byte) (int, error) {
+	if w.closed {
+		return 0, io.ErrClosedPipe
+	}
+	if w.err != nil {
+		return 0, w.err
+	}
+	n, _ := w.buf.Write(p)
+	for w.buf.Len() >= w.c.blockSize {
+		if err := w.flushBlock(w.c.blockSize); err != nil {
+			w.err = err
+			return 0, err
+		}
+	}
+	return n, nil
+}
+
+func (w *clusterWriter) flushBlock(size int) error {
+	data := make([]byte, size)
+	if _, err := io.ReadFull(&w.buf, data); err != nil {
+		return err
+	}
+	id, err := w.c.placeBlock(data)
+	if err != nil {
+		return err
+	}
+	w.blocks = append(w.blocks, id)
+	return nil
+}
+
+func (w *clusterWriter) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	if w.err != nil {
+		return w.err
+	}
+	if w.buf.Len() > 0 {
+		if err := w.flushBlock(w.buf.Len()); err != nil {
+			return err
+		}
+	}
+	w.c.commit(w.path, w.blocks)
+	return nil
+}

@@ -1,0 +1,124 @@
+package dfs
+
+import (
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// LocalFS stores files under a root directory on local disk. Writes go
+// to a temporary file and rename into place on Close, so readers never
+// observe partial files.
+type LocalFS struct {
+	root string
+}
+
+// NewLocalFS returns a LocalFS rooted at dir, creating it if needed.
+func NewLocalFS(dir string) (*LocalFS, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &LocalFS{root: dir}, nil
+}
+
+// Root returns the root directory.
+func (l *LocalFS) Root() string { return l.root }
+
+func (l *LocalFS) abs(path string) (string, error) {
+	if err := validatePath(path); err != nil {
+		return "", err
+	}
+	return filepath.Join(l.root, filepath.FromSlash(path)), nil
+}
+
+// Create implements FileSystem.
+func (l *LocalFS) Create(path string) (io.WriteCloser, error) {
+	abs, err := l.abs(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(filepath.Dir(abs), 0o755); err != nil {
+		return nil, err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(abs), ".dfs-tmp-*")
+	if err != nil {
+		return nil, err
+	}
+	return &localWriter{f: tmp, final: abs}, nil
+}
+
+// Open implements FileSystem.
+func (l *LocalFS) Open(path string) (io.ReadCloser, error) {
+	abs, err := l.abs(path)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.Open(abs)
+	if os.IsNotExist(err) {
+		return nil, ErrNotExist
+	}
+	return f, err
+}
+
+// List implements FileSystem.
+func (l *LocalFS) List(prefix string) ([]string, error) {
+	var names []string
+	err := filepath.WalkDir(l.root, func(p string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() || strings.HasPrefix(d.Name(), ".dfs-tmp-") {
+			return nil
+		}
+		rel, err := filepath.Rel(l.root, p)
+		if err != nil {
+			return err
+		}
+		rel = filepath.ToSlash(rel)
+		if strings.HasPrefix(rel, prefix) {
+			names = append(names, rel)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Remove implements FileSystem.
+func (l *LocalFS) Remove(path string) error {
+	abs, err := l.abs(path)
+	if err != nil {
+		return err
+	}
+	err = os.Remove(abs)
+	if os.IsNotExist(err) {
+		return ErrNotExist
+	}
+	return err
+}
+
+type localWriter struct {
+	f     *os.File
+	final string
+	done  bool
+}
+
+func (w *localWriter) Write(p []byte) (int, error) { return w.f.Write(p) }
+
+func (w *localWriter) Close() error {
+	if w.done {
+		return nil
+	}
+	w.done = true
+	if err := w.f.Close(); err != nil {
+		os.Remove(w.f.Name())
+		return err
+	}
+	return os.Rename(w.f.Name(), w.final)
+}

@@ -1,0 +1,188 @@
+// Package graphgen generates the synthetic datasets that stand in for
+// the paper's graphs (Tables 1 and 2). The originals (web-BS,
+// soc-Epinions, sk-2005, twitter) are external corpora; the evaluation
+// only needs their shapes — skewed web/social degree distributions,
+// exact 3-regular bipartite structure, and weighted undirected graphs
+// with a planted fraction of asymmetric weights — so seeded generators
+// reproduce those shapes at configurable scale.
+package graphgen
+
+import (
+	"math/rand"
+
+	"graft/internal/pregel"
+)
+
+// WebGraph generates a directed graph with a heavy-tailed in-degree
+// distribution via preferential attachment, standing in for web crawls
+// (web-BS, sk-2005). Vertex 0 is a "funnel": it accumulates a large
+// share of in-links but has a single out-edge, the hub shape that
+// makes the random-walk scenario's 16-bit counters overflow.
+func WebGraph(n int, avgOutDeg int, seed int64) *pregel.Graph {
+	if n < 2 {
+		n = 2
+	}
+	if avgOutDeg < 1 {
+		avgOutDeg = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := pregel.NewGraph()
+	for i := 0; i < n; i++ {
+		g.AddVertex(pregel.VertexID(i), nil)
+	}
+	// targets holds one entry per received edge, so sampling from it
+	// is preferential attachment.
+	targets := make([]pregel.VertexID, 0, n*avgOutDeg)
+	targets = append(targets, 0, 1)
+	addEdge := func(from, to pregel.VertexID) {
+		if from == to {
+			return
+		}
+		g.Vertex(from).AddEdge(pregel.Edge{Target: to})
+		targets = append(targets, to)
+	}
+	// The funnel: vertex 0 links only to vertex 1.
+	addEdge(0, 1)
+	for i := 1; i < n; i++ {
+		from := pregel.VertexID(i)
+		deg := 1 + rng.Intn(2*avgOutDeg-1) // mean avgOutDeg
+		for k := 0; k < deg; k++ {
+			var to pregel.VertexID
+			if rng.Float64() < 0.25 {
+				// A quarter of links go to the funnel, concentrating
+				// walkers there.
+				to = 0
+			} else {
+				to = targets[rng.Intn(len(targets))]
+			}
+			addEdge(from, to)
+		}
+	}
+	g.SortAllEdges()
+	return g
+}
+
+// SocialGraph generates an undirected weighted graph standing in for
+// the soc-Epinions trust network: preferential attachment for the
+// heavy tail, symmetric directed edges, uniform random weights in
+// (0, 1].
+func SocialGraph(n int, avgDeg int, seed int64) *pregel.Graph {
+	if n < 2 {
+		n = 2
+	}
+	if avgDeg < 2 {
+		avgDeg = 2
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := pregel.NewGraph()
+	for i := 0; i < n; i++ {
+		g.AddVertex(pregel.VertexID(i), nil)
+	}
+	targets := []pregel.VertexID{0}
+	for i := 1; i < n; i++ {
+		a := pregel.VertexID(i)
+		deg := 1 + rng.Intn(avgDeg-1)
+		for k := 0; k < deg; k++ {
+			b := targets[rng.Intn(len(targets))]
+			if a == b || g.Vertex(a).HasEdge(b) {
+				continue
+			}
+			w := rng.Float64() + 1.0/float64(n) // avoid exact zero
+			g.Vertex(a).AddEdge(pregel.Edge{Target: b, Value: pregel.NewDouble(w)})
+			g.Vertex(b).AddEdge(pregel.Edge{Target: a, Value: pregel.NewDouble(w)})
+			targets = append(targets, b)
+		}
+		targets = append(targets, a)
+	}
+	g.SortAllEdges()
+	return g
+}
+
+// RegularBipartite generates an undirected d-regular bipartite graph
+// with n vertices (n/2 per side), the bipartite-1M-3M /
+// bipartite-2B-6B stand-in. Left vertex i connects to right vertices
+// (i+k) mod half for k in [0, d): a circulant construction, so every
+// vertex has degree exactly d.
+func RegularBipartite(n, d int) *pregel.Graph {
+	half := n / 2
+	if half < 1 {
+		half = 1
+	}
+	if d > half {
+		d = half
+	}
+	g := pregel.NewGraph()
+	for i := 0; i < 2*half; i++ {
+		g.AddVertex(pregel.VertexID(i), nil)
+	}
+	for i := 0; i < half; i++ {
+		left := pregel.VertexID(i)
+		for k := 0; k < d; k++ {
+			right := pregel.VertexID(half + (i+k)%half)
+			g.Vertex(left).AddEdge(pregel.Edge{Target: right})
+			g.Vertex(right).AddEdge(pregel.Edge{Target: left})
+		}
+	}
+	g.SortAllEdges()
+	return g
+}
+
+// CorruptWeights makes approximately frac of the undirected edges
+// asymmetric by perturbing the weight of one direction — the
+// input-graph error of the paper's §4.3 scenario ("a small fraction of
+// the edges incorrectly have different weights on their symmetric
+// edges"). It returns the number of corrupted edge pairs.
+func CorruptWeights(g *pregel.Graph, frac float64, seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	corrupted := 0
+	for _, id := range g.VertexIDs() {
+		v := g.Vertex(id)
+		for _, e := range v.Edges() {
+			if e.Target <= id { // visit each undirected pair once
+				continue
+			}
+			if rng.Float64() >= frac {
+				continue
+			}
+			w, ok := e.Value.(*pregel.DoubleValue)
+			if !ok {
+				continue
+			}
+			// Perturb the reverse direction only.
+			rev := g.Vertex(e.Target)
+			if rev != nil && rev.SetEdgeValue(id, pregel.NewDouble(w.Get()*(0.25+rng.Float64()))) {
+				corrupted++
+			}
+		}
+	}
+	return corrupted
+}
+
+// PlantPreferenceCycle appends three fresh vertices forming a triangle
+// whose weights rotate asymmetrically: each vertex's maximum-weight
+// neighbor is the next one around the cycle, so maximum-weight
+// matching livelocks on them forever. This guarantees the §4.3
+// "infinite loop" symptom deterministically; random corruption alone
+// only sometimes produces such a cycle. It returns the three new IDs.
+func PlantPreferenceCycle(g *pregel.Graph) [3]pregel.VertexID {
+	base := pregel.VertexID(0)
+	for _, id := range g.VertexIDs() {
+		if id >= base {
+			base = id + 1
+		}
+	}
+	ids := [3]pregel.VertexID{base, base + 1, base + 2}
+	for _, id := range ids {
+		g.AddVertex(id, nil)
+	}
+	// Directed weights: a prefers b (10 vs 1), b prefers c, c prefers a.
+	high, low := 10.0, 1.0
+	for i := 0; i < 3; i++ {
+		a, b := g.Vertex(ids[i]), ids[(i+1)%3]
+		c := ids[(i+2)%3]
+		a.AddEdge(pregel.Edge{Target: b, Value: pregel.NewDouble(high)})
+		a.AddEdge(pregel.Edge{Target: c, Value: pregel.NewDouble(low)})
+	}
+	g.SortAllEdges()
+	return ids
+}

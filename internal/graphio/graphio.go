@@ -1,0 +1,108 @@
+// Package graphio reads and writes graphs in an adjacency-list text
+// format compatible with Giraph's common text input formats:
+//
+//	# comment
+//	<vertexID> <nbr>[:<weight>] <nbr>[:<weight>] ...
+//
+// A vertex with no out-edges is a line with just its ID. Weights are
+// float64 and optional per edge; WriteAdjacency emits them whenever an
+// edge carries a DoubleValue. The GUI's offline graph builder exports
+// this format for end-to-end tests.
+package graphio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"graft/internal/pregel"
+)
+
+// ReadAdjacency parses an adjacency-list graph. Vertices referenced
+// only as targets are created with nil values.
+func ReadAdjacency(r io.Reader) (*pregel.Graph, error) {
+	g := pregel.NewGraph()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		id, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("graphio: line %d: bad vertex ID %q: %w", lineNo, fields[0], err)
+		}
+		v := g.EnsureVertex(pregel.VertexID(id), nil)
+		for _, f := range fields[1:] {
+			var value pregel.Value
+			target := f
+			if idx := strings.IndexByte(f, ':'); idx >= 0 {
+				target = f[:idx]
+				w, err := strconv.ParseFloat(f[idx+1:], 64)
+				if err != nil {
+					return nil, fmt.Errorf("graphio: line %d: bad weight %q: %w", lineNo, f, err)
+				}
+				value = pregel.NewDouble(w)
+			}
+			t, err := strconv.ParseInt(target, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("graphio: line %d: bad neighbor %q: %w", lineNo, target, err)
+			}
+			g.EnsureVertex(pregel.VertexID(t), nil)
+			v.AddEdge(pregel.Edge{Target: pregel.VertexID(t), Value: value})
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// WriteAdjacency writes g in adjacency-list form, vertices in
+// ascending ID order.
+func WriteAdjacency(w io.Writer, g *pregel.Graph) error {
+	bw := bufio.NewWriter(w)
+	for _, id := range g.VertexIDs() {
+		v := g.Vertex(id)
+		if _, err := fmt.Fprintf(bw, "%d", id); err != nil {
+			return err
+		}
+		for _, e := range v.Edges() {
+			if dv, ok := e.Value.(*pregel.DoubleValue); ok {
+				fmt.Fprintf(bw, " %d:%s", e.Target, strconv.FormatFloat(dv.Get(), 'g', -1, 64))
+			} else {
+				fmt.Fprintf(bw, " %d", e.Target)
+			}
+		}
+		if _, err := fmt.Fprintln(bw); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Undirect adds the reverse of every directed edge that lacks one,
+// cloning edge values, so directed inputs can feed undirected
+// algorithms. It reports how many reverse edges were added.
+func Undirect(g *pregel.Graph) int {
+	added := 0
+	for _, id := range g.VertexIDs() {
+		v := g.Vertex(id)
+		for _, e := range v.Edges() {
+			t := g.Vertex(e.Target)
+			if t == nil || t.HasEdge(id) {
+				continue
+			}
+			t.AddEdge(pregel.Edge{Target: id, Value: pregel.CloneValue(e.Value)})
+			added++
+		}
+	}
+	g.SortAllEdges()
+	return added
+}

@@ -1,0 +1,89 @@
+package gui
+
+import (
+	"fmt"
+	"html/template"
+	"net/http"
+
+	"graft/internal/pregel"
+	"graft/internal/trace"
+)
+
+// The diff view compares two jobs' traces side by side — typically a
+// buggy run against a fixed one with the same DebugConfig — surfacing
+// the first superstep where a commonly captured vertex diverges.
+
+var diffTmpl = template.Must(template.New("diff").Parse(`
+<form method="get">
+Compare job <input name="a" size="20" value="{{.A}}">
+with <input name="b" size="20" value="{{.B}}">
+<input type="submit" value="Diff">
+</form>
+{{if .Ready}}
+<h2>{{.A}} vs {{.B}}</h2>
+{{if .OnlyA}}<p>Captured only in {{.A}}: {{range .OnlyA}}{{.}} {{end}}</p>{{end}}
+{{if .OnlyB}}<p>Captured only in {{.B}}: {{range .OnlyB}}{{.}} {{end}}</p>{{end}}
+{{if .StatusDiffs}}<p>M/V/E status differs at supersteps: {{range .StatusDiffs}}{{.}} {{end}}</p>{{end}}
+{{if not .Rows}}<p>No divergences among commonly captured vertices.</p>{{else}}
+<p>{{len .Rows}} divergences; the first is usually where the bug acted.</p>
+<table>
+<tr><th>Superstep</th><th>Vertex</th><th>Differs in</th><th>{{.A}}</th><th>{{.B}}</th><th></th></tr>
+{{range .Rows}}
+<tr>
+<td>{{.Superstep}}</td>
+<td>{{.ID}}</td><td>{{.Fields}}</td><td>{{.ValA}}</td><td>{{.ValB}}</td>
+<td><a href="/job/{{$.A}}/vertex?superstep={{.Superstep}}&id={{.ID}}">context in {{$.A}}</a>
+    <a href="/job/{{$.B}}/vertex?superstep={{.Superstep}}&id={{.ID}}">in {{$.B}}</a></td>
+</tr>
+{{end}}
+</table>
+{{end}}
+{{end}}`))
+
+func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
+	a, b := r.FormValue("a"), r.FormValue("b")
+	type row struct {
+		Superstep  int
+		ID         pregel.VertexID
+		Fields     string
+		ValA, ValB string
+	}
+	data := struct {
+		A, B         string
+		Ready        bool
+		OnlyA, OnlyB []pregel.VertexID
+		StatusDiffs  []int
+		Rows         []row
+	}{A: a, B: b}
+	if a != "" && b != "" {
+		dbA, err := s.db(a)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		dbB, err := s.db(b)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		diff := trace.DiffJobs(dbA, dbB)
+		data.Ready = true
+		data.OnlyA, data.OnlyB = diff.OnlyA, diff.OnlyB
+		data.StatusDiffs = diff.StatusDiffs
+		for _, d := range diff.Divergences {
+			data.Rows = append(data.Rows, row{
+				Superstep: d.Superstep,
+				ID:        d.ID,
+				Fields:    fmt.Sprint(d.Fields),
+				ValA:      pregel.ValueString(d.A.ValueAfter),
+				ValB:      pregel.ValueString(d.B.ValueAfter),
+			})
+		}
+	}
+	body, err := renderSub(diffTmpl, data)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	renderPage(w, "trace diff", body)
+}

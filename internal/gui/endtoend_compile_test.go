@@ -1,0 +1,58 @@
+package gui
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"graft/internal/pregel"
+)
+
+// TestEndToEndTemplateCompiles verifies the offline mode's exported
+// test skeleton is a valid Go test: it is written into a scratch
+// package of this module and executed (it self-skips until the user
+// fills in their computation, which is exactly the shipped behaviour).
+func TestEndToEndTemplateCompiles(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go toolchain")
+	}
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go toolchain not on PATH")
+	}
+	repoRoot, err := filepath.Abs("../../")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	g, err := PremadeGraph("two-triangles", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Vertex(0).SetValue(pregel.NewText("seed"))
+	if err := g.AddEdge(0, 3, pregel.NewDouble(2.5)); err != nil {
+		t.Fatal(err)
+	}
+	code := EndToEndTestCode("two-triangles", g)
+	code = strings.Replace(code, "package graftendtoend", "package endtoendgen", 1)
+
+	dir, err := os.MkdirTemp(repoRoot, "tmp-endtoendgen-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	if err := os.WriteFile(filepath.Join(dir, "endtoend_test.go"), []byte(code), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(goBin, "test", "-count=1", "-v", "./"+filepath.Base(dir))
+	cmd.Dir = repoRoot
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("generated end-to-end test failed to build/run: %v\n%s\n---- code ----\n%s", err, out, code)
+	}
+	if !strings.Contains(string(out), "SKIP") {
+		t.Errorf("template should self-skip until a computation is set:\n%s", out)
+	}
+}

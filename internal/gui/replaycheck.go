@@ -1,0 +1,103 @@
+package gui
+
+import (
+	"fmt"
+	"html/template"
+	"net/http"
+	"strings"
+
+	"graft/internal/pregel"
+	"graft/internal/repro"
+	"graft/internal/trace"
+)
+
+// The replay-check view re-executes every captured vertex of a
+// superstep against its recorded context and reports whether the
+// replay matches the cluster execution — a live determinism audit of
+// the trace, and the programmatic face of the Reproduce step.
+
+// RegisterComputation associates a live computation with an algorithm
+// name, enabling the replay-check view for its jobs. (The reproduce
+// buttons only need the GenSpec; replaying in-process needs the actual
+// function.)
+func (s *Server) RegisterComputation(algorithm string, comp pregel.Computation) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.comps[algorithm] = comp
+}
+
+func (s *Server) computationFor(algorithm string) pregel.Computation {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.comps[algorithm]
+}
+
+var replayCheckTmpl = template.Must(template.New("replaycheck").Parse(`
+{{.Nav}}
+<h2>Replay check — superstep {{.Superstep}}</h2>
+{{if not .Available}}
+<p class="muted">No live computation registered for algorithm
+"{{.Algorithm}}"; replay checking is unavailable for this job.</p>
+{{else}}
+<p>{{.OKCount}}/{{.Total}} captured vertices replay identically to the
+cluster execution.</p>
+<table>
+<tr><th>Vertex</th><th>Replay</th><th>Divergences</th></tr>
+{{range .Rows}}
+<tr>
+<td><a href="/job/{{$.JobID}}/vertex?superstep={{$.Superstep}}&id={{.ID}}">{{.ID}}</a></td>
+<td>{{if .OK}}OK{{else}}DIVERGED{{end}}</td>
+<td>{{.Diffs}}</td>
+</tr>
+{{end}}
+</table>
+{{end}}`))
+
+func (s *Server) handleReplayCheck(w http.ResponseWriter, r *http.Request, db *trace.DB) {
+	superstep := superstepOf(r, db)
+	nav, err := navHTML(db, superstep)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	type row struct {
+		ID    pregel.VertexID
+		OK    bool
+		Diffs string
+	}
+	data := struct {
+		Nav       template.HTML
+		JobID     string
+		Algorithm string
+		Superstep int
+		Available bool
+		OKCount   int
+		Total     int
+		Rows      []row
+	}{Nav: nav, JobID: db.Meta.JobID, Algorithm: db.Meta.Algorithm, Superstep: superstep}
+
+	comp := s.computationFor(db.Meta.Algorithm)
+	if comp != nil {
+		data.Available = true
+		meta := db.MetaAt(superstep)
+		for _, c := range db.CapturesAt(superstep) {
+			out := repro.ReplayCapture(c, meta, comp)
+			diffs := repro.Fidelity(c, out)
+			if len(diffs) == 0 {
+				data.OKCount++
+			}
+			data.Rows = append(data.Rows, row{
+				ID:    c.ID,
+				OK:    len(diffs) == 0,
+				Diffs: strings.Join(diffs, "; "),
+			})
+			data.Total++
+		}
+	}
+	body, err := renderSub(replayCheckTmpl, data)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	renderPage(w, fmt.Sprintf("%s — replay check @ superstep %d", db.Meta.JobID, superstep), body)
+}

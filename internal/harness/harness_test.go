@@ -1,0 +1,154 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"graft/internal/graphgen"
+)
+
+func TestStandardConfigsMatchTable3(t *testing.T) {
+	configs := StandardConfigs(1)
+	wantNames := []string{"no-debug", "DC-sp", "DC-sp+nbr", "DC-msg", "DC-vv", "DC-full"}
+	if len(configs) != len(wantNames) {
+		t.Fatalf("got %d configs", len(configs))
+	}
+	for i, c := range configs {
+		if c.Name != wantNames[i] {
+			t.Errorf("config %d = %q, want %q", i, c.Name, wantNames[i])
+		}
+	}
+	if configs[0].Make != nil {
+		t.Error("no-debug should have no DebugConfig")
+	}
+	dcFull := configs[5].Make()
+	if len(dcFull.CaptureIDs) != 10 || !dcFull.CaptureNeighbors ||
+		dcFull.MessageConstraint == nil || dcFull.VertexValueConstraint == nil ||
+		!dcFull.CaptureExceptions {
+		t.Errorf("DC-full shape wrong: %+v", dcFull)
+	}
+	dcSp := configs[1].Make()
+	if len(dcSp.CaptureIDs) != 5 || dcSp.CaptureNeighbors {
+		t.Errorf("DC-sp shape wrong: %+v", dcSp)
+	}
+}
+
+func TestRunFig8SmallGrid(t *testing.T) {
+	// A miniature version of the full sweep: every workload runs under
+	// every config without error, baselines normalize to 1.0, and
+	// capture counts appear where expected.
+	workloads := StandardWorkloads(0.000002, 7, 4) // tiny graphs: the grid shape, not the timings
+	ms, err := RunFig8(workloads, StandardConfigs(7), Options{Reps: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != len(workloads)*6 {
+		t.Fatalf("got %d measurements, want %d", len(ms), len(workloads)*6)
+	}
+	for _, m := range ms {
+		if m.MeanTime <= 0 {
+			t.Errorf("%s/%s: zero mean time", m.Workload, m.Config)
+		}
+		switch m.Config {
+		case "no-debug":
+			if m.Relative != 1 {
+				t.Errorf("%s baseline relative = %v", m.Workload, m.Relative)
+			}
+			if m.Captures != 0 {
+				t.Errorf("%s baseline captured %d", m.Workload, m.Captures)
+			}
+		case "DC-sp", "DC-sp+nbr", "DC-full":
+			if m.Captures == 0 {
+				t.Errorf("%s/%s captured nothing", m.Workload, m.Config)
+			}
+			if m.TraceSize == 0 {
+				t.Errorf("%s/%s wrote no trace bytes", m.Workload, m.Config)
+			}
+		}
+	}
+	// DC-sp+nbr captures at least as much as DC-sp.
+	byKey := map[string]Measurement{}
+	for _, m := range ms {
+		byKey[m.Workload+"/"+m.Config] = m
+	}
+	for _, wl := range workloads {
+		sp := byKey[wl.Label+"/DC-sp"]
+		nbr := byKey[wl.Label+"/DC-sp+nbr"]
+		if nbr.Captures < sp.Captures {
+			t.Errorf("%s: DC-sp+nbr captures (%d) < DC-sp (%d)", wl.Label, nbr.Captures, sp.Captures)
+		}
+	}
+}
+
+func TestPrintersProduceTables(t *testing.T) {
+	var b strings.Builder
+	PrintDatasetTable(&b, "Table 1", graphgen.Table1Datasets(0.0005, 1))
+	out := b.String()
+	for _, want := range []string{"web-BS", "soc-Epinions", "bipartite-1M-3M", "685000", "A web graph from 2002"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table 1 missing %q:\n%s", want, out)
+		}
+	}
+
+	b.Reset()
+	PrintDatasetTable(&b, "Table 2", graphgen.Table2Datasets(0.00005, 1))
+	out = b.String()
+	for _, want := range []string{"sk-2005", "twitter", "bipartite-2B-6B", "2000000000"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table 2 missing %q:\n%s", want, out)
+		}
+	}
+
+	b.Reset()
+	PrintConfigTable(&b, StandardConfigs(1))
+	out = b.String()
+	for _, want := range []string{"DC-sp", "DC-full", "non-negative"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table 3 missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "no-debug") {
+		t.Error("table 3 should not list the baseline")
+	}
+
+	b.Reset()
+	PrintFig8(&b, []Measurement{{Workload: "GC-bp", Config: "DC-sp", Relative: 1.16, MeanTime: time.Second, Captures: 42}})
+	if !strings.Contains(b.String(), "1.160") || !strings.Contains(b.String(), "42") {
+		t.Errorf("fig8 table:\n%s", b.String())
+	}
+}
+
+func TestCheckFig8Shape(t *testing.T) {
+	good := []Measurement{
+		{Workload: "X", Config: "no-debug", Relative: 1},
+		{Workload: "X", Config: "DC-sp", Relative: 1.1, Captures: 5},
+		{Workload: "X", Config: "DC-full", Relative: 1.3, Captures: 10},
+	}
+	if problems := CheckFig8Shape(good, 0.05); len(problems) != 0 {
+		t.Errorf("good shape flagged: %v", problems)
+	}
+	bad := []Measurement{
+		{Workload: "X", Config: "no-debug", Relative: 1},
+		{Workload: "X", Config: "DC-sp", Relative: 0.7, Captures: 5}, // impossibly fast
+		{Workload: "X", Config: "DC-full", Relative: 1.1, Captures: 10},
+		{Workload: "X", Config: "DC-msg", Relative: 1.9, Captures: 0}, // more than DC-full
+	}
+	problems := CheckFig8Shape(bad, 0.05)
+	if len(problems) != 2 {
+		t.Errorf("problems = %v", problems)
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	mean, std := meanStd([]time.Duration{2 * time.Second, 4 * time.Second})
+	if mean != 3*time.Second {
+		t.Errorf("mean = %v", mean)
+	}
+	if std != time.Second {
+		t.Errorf("std = %v", std)
+	}
+	if m, s := meanStd(nil); m != 0 || s != 0 {
+		t.Error("empty input")
+	}
+}

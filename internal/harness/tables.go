@@ -1,0 +1,39 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"graft/internal/graphgen"
+)
+
+// PrintDatasetTable renders Table 1 or Table 2 of the paper: the
+// original sizes alongside the synthetic stand-in actually generated
+// at the current scale.
+func PrintDatasetTable(w io.Writer, title string, ds []graphgen.Dataset) {
+	fmt.Fprintln(w, title)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "name\tpaper-vertices\tpaper-edges(d)\tsynthetic-vertices\tsynthetic-edges(d)\tdescription")
+	for i := range ds {
+		v, e := ds[i].Stats()
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%s\n",
+			ds[i].Name, ds[i].PaperVertices, ds[i].PaperEdges, v, e, ds[i].Description)
+	}
+	tw.Flush()
+}
+
+// PrintConfigTable renders Table 3 of the paper: the DebugConfig
+// configurations used in the overhead experiments.
+func PrintConfigTable(w io.Writer, configs []NamedConfig) {
+	fmt.Fprintln(w, "Table 3: DebugConfig configurations")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "name\tdescription")
+	for _, c := range configs {
+		if c.Make == nil {
+			continue // the baseline is not part of Table 3
+		}
+		fmt.Fprintf(tw, "%s\t%s\n", c.Name, c.Description)
+	}
+	tw.Flush()
+}

@@ -1,0 +1,118 @@
+package pregel
+
+import "math"
+
+// Standard aggregators mirroring Giraph's library
+// (LongSumAggregator, DoubleSumAggregator, min/max, boolean and/or,
+// and the overwrite aggregator commonly used by master.compute to
+// broadcast the current algorithm phase).
+
+// LongSumAggregator sums LongValue contributions.
+type LongSumAggregator struct{}
+
+func (LongSumAggregator) CreateInitial() Value { return NewLong(0) }
+func (LongSumAggregator) Aggregate(a, b Value) Value {
+	av := a.(*LongValue)
+	av.Set(av.Get() + b.(*LongValue).Get())
+	return av
+}
+
+// LongMaxAggregator keeps the maximum LongValue contribution.
+type LongMaxAggregator struct{}
+
+func (LongMaxAggregator) CreateInitial() Value { return NewLong(minInt64) }
+func (LongMaxAggregator) Aggregate(a, b Value) Value {
+	av, bv := a.(*LongValue), b.(*LongValue)
+	if bv.Get() > av.Get() {
+		av.Set(bv.Get())
+	}
+	return av
+}
+
+// LongMinAggregator keeps the minimum LongValue contribution.
+type LongMinAggregator struct{}
+
+func (LongMinAggregator) CreateInitial() Value { return NewLong(maxInt64) }
+func (LongMinAggregator) Aggregate(a, b Value) Value {
+	av, bv := a.(*LongValue), b.(*LongValue)
+	if bv.Get() < av.Get() {
+		av.Set(bv.Get())
+	}
+	return av
+}
+
+// DoubleSumAggregator sums DoubleValue contributions.
+type DoubleSumAggregator struct{}
+
+func (DoubleSumAggregator) CreateInitial() Value { return NewDouble(0) }
+func (DoubleSumAggregator) Aggregate(a, b Value) Value {
+	av := a.(*DoubleValue)
+	av.Set(av.Get() + b.(*DoubleValue).Get())
+	return av
+}
+
+// DoubleMaxAggregator keeps the maximum DoubleValue contribution.
+type DoubleMaxAggregator struct{}
+
+func (DoubleMaxAggregator) CreateInitial() Value { return NewDouble(negInf) }
+func (DoubleMaxAggregator) Aggregate(a, b Value) Value {
+	av, bv := a.(*DoubleValue), b.(*DoubleValue)
+	if bv.Get() > av.Get() {
+		av.Set(bv.Get())
+	}
+	return av
+}
+
+// BoolOrAggregator ORs BoolValue contributions.
+type BoolOrAggregator struct{}
+
+func (BoolOrAggregator) CreateInitial() Value { return NewBool(false) }
+func (BoolOrAggregator) Aggregate(a, b Value) Value {
+	av := a.(*BoolValue)
+	av.Set(av.Get() || b.(*BoolValue).Get())
+	return av
+}
+
+// BoolAndAggregator ANDs BoolValue contributions.
+type BoolAndAggregator struct{}
+
+func (BoolAndAggregator) CreateInitial() Value { return NewBool(true) }
+func (BoolAndAggregator) Aggregate(a, b Value) Value {
+	av := a.(*BoolValue)
+	av.Set(av.Get() && b.(*BoolValue).Get())
+	return av
+}
+
+// LongOverwriteAggregator holds a LongValue where each Aggregate call
+// replaces the previous value; master.compute uses it to broadcast
+// counters it owns (e.g. the current color in graph coloring). The
+// initial value is 0.
+type LongOverwriteAggregator struct{}
+
+func (LongOverwriteAggregator) CreateInitial() Value { return NewLong(0) }
+func (LongOverwriteAggregator) Aggregate(a, b Value) Value {
+	av := a.(*LongValue)
+	av.Set(b.(*LongValue).Get())
+	return av
+}
+
+// TextOverwriteAggregator holds a TextValue where each Aggregate call
+// replaces the previous value. master.compute uses it with
+// SetAggregated to broadcast the current phase of a multi-phase
+// algorithm (the "phase" aggregator in Figure 6 of the paper). The
+// initial value is the empty string.
+type TextOverwriteAggregator struct{}
+
+func (TextOverwriteAggregator) CreateInitial() Value { return NewText("") }
+func (TextOverwriteAggregator) Aggregate(a, b Value) Value {
+	av := a.(*TextValue)
+	av.Set(b.(*TextValue).Get())
+	return av
+}
+
+const (
+	minInt64 = -1 << 63
+	maxInt64 = 1<<63 - 1
+)
+
+var negInf = math.Inf(-1)

@@ -1,0 +1,164 @@
+package pregel
+
+// Computation is the vertex-centric program, Giraph's
+// Computation/vertex.compute(). Compute is called once per active
+// vertex per superstep. Inside Compute a vertex has access to exactly
+// the five pieces of data the Giraph API exposes (paper §2): its ID
+// and edges (via v), its incoming messages (msgs), the aggregators and
+// the default global data (via ctx).
+//
+// Compute must be a pure function of that context: implementations
+// must not read mutable state shared across vertices (beyond
+// aggregators), or context reproduction cannot replay them faithfully
+// (the limitation discussed in §7 of the paper). Randomized algorithms
+// should derive randomness deterministically from (seed, vertex ID,
+// superstep).
+type Computation interface {
+	Compute(ctx Context, v *Vertex, msgs []Value) error
+}
+
+// ComputeFunc adapts a function to the Computation interface.
+type ComputeFunc func(ctx Context, v *Vertex, msgs []Value) error
+
+// Compute implements Computation.
+func (f ComputeFunc) Compute(ctx Context, v *Vertex, msgs []Value) error {
+	return f(ctx, v, msgs)
+}
+
+// Context is the per-superstep environment passed to Compute. It is
+// only valid for the duration of the call.
+type Context interface {
+	// Superstep returns the current superstep number, starting at 0.
+	Superstep() int
+	// TotalNumVertices returns the vertex count at the start of the
+	// superstep.
+	TotalNumVertices() int64
+	// TotalNumEdges returns the directed edge count at the start of
+	// the superstep.
+	TotalNumEdges() int64
+	// WorkerID identifies the worker executing this vertex; Graft uses
+	// it to route capture records to per-worker trace files.
+	WorkerID() int
+	// GetAggregated returns the value of a registered aggregator as
+	// broadcast at the start of this superstep. The returned Value is
+	// shared; callers must not mutate it.
+	GetAggregated(name string) Value
+	// Aggregate folds val into the named aggregator; the merged result
+	// is visible from the next superstep.
+	Aggregate(name string, val Value)
+	// SendMessage delivers msg to the vertex with the given ID at the
+	// next superstep. The engine takes ownership of msg; do not reuse
+	// or mutate it after sending.
+	SendMessage(to VertexID, msg Value)
+	// SendMessageToAllEdges sends a copy of msg along every outgoing
+	// edge of v.
+	SendMessageToAllEdges(v *Vertex, msg Value)
+	// RemoveVertexRequest asks the engine to remove the vertex with
+	// the given ID at the end of the superstep.
+	RemoveVertexRequest(id VertexID)
+	// AddVertexRequest asks the engine to create a vertex at the end
+	// of the superstep. If the vertex already exists the request is
+	// ignored, matching Giraph's default resolver.
+	AddVertexRequest(id VertexID, value Value)
+}
+
+// MasterComputation is the optional master program, Giraph/GPS's
+// master.compute(). It runs once at the beginning of every superstep,
+// before any vertex computes, and typically coordinates algorithm
+// phases through aggregators.
+type MasterComputation interface {
+	Compute(ctx MasterContext) error
+}
+
+// MasterComputeFunc adapts a function to MasterComputation.
+type MasterComputeFunc func(ctx MasterContext) error
+
+// Compute implements MasterComputation.
+func (f MasterComputeFunc) Compute(ctx MasterContext) error { return f(ctx) }
+
+// MasterContext is the environment passed to MasterComputation.
+type MasterContext interface {
+	// Superstep returns the superstep about to run, starting at 0.
+	Superstep() int
+	// TotalNumVertices returns the current vertex count.
+	TotalNumVertices() int64
+	// TotalNumEdges returns the current directed edge count.
+	TotalNumEdges() int64
+	// GetAggregated returns the aggregator value merged from the
+	// previous superstep.
+	GetAggregated(name string) Value
+	// SetAggregated overwrites the value that will be broadcast to
+	// vertices this superstep.
+	SetAggregated(name string, val Value)
+	// AggregatedNames returns the sorted names of all registered
+	// aggregators; Graft's master instrumentation snapshots them.
+	AggregatedNames() []string
+	// HaltComputation terminates the job before this superstep's
+	// vertex computations run.
+	HaltComputation()
+}
+
+// Aggregator merges per-vertex contributions into a global value,
+// Giraph's Aggregator<A>. Implementations must be commutative and
+// associative.
+type Aggregator interface {
+	// CreateInitial returns the identity element.
+	CreateInitial() Value
+	// Aggregate folds b into a, returning the merged value. It may
+	// mutate and return a, but must not retain b.
+	Aggregate(a, b Value) Value
+}
+
+// Combiner merges messages addressed to the same vertex before
+// delivery, Giraph's MessageCombiner. It must be commutative and
+// associative, and may mutate and return a.
+type Combiner interface {
+	Combine(to VertexID, a, b Value) Value
+}
+
+// CombineFunc adapts a function to Combiner.
+type CombineFunc func(to VertexID, a, b Value) Value
+
+// Combine implements Combiner.
+func (f CombineFunc) Combine(to VertexID, a, b Value) Value { return f(to, a, b) }
+
+// JobListener observes engine progress. Graft's instrumenter listens
+// to flush trace files at superstep boundaries; the GUI's live mode
+// and the harness use it for progress accounting. All callbacks run on
+// the engine's coordinator goroutine, never concurrently.
+type JobListener interface {
+	// JobStarted fires once before superstep 0.
+	JobStarted(info JobInfo)
+	// SuperstepStarted fires after master.compute but before any
+	// vertex computes.
+	SuperstepStarted(superstep int, info SuperstepInfo)
+	// SuperstepFinished fires after the superstep barrier.
+	SuperstepFinished(superstep int, stats SuperstepStats)
+	// JobFinished fires once, after the final superstep or on error.
+	JobFinished(stats *Stats, err error)
+}
+
+// JobInfo describes a starting job.
+type JobInfo struct {
+	NumWorkers  int
+	NumVertices int64
+	NumEdges    int64
+}
+
+// SuperstepInfo is the global data broadcast to vertices for one
+// superstep, plus a snapshot of all aggregator values.
+type SuperstepInfo struct {
+	Superstep   int
+	NumVertices int64
+	NumEdges    int64
+	// Aggregated maps every registered aggregator to the value
+	// broadcast this superstep. Values are cloned; listeners own them.
+	Aggregated map[string]Value
+}
+
+// SuperstepStats summarizes one finished superstep.
+type SuperstepStats struct {
+	Superstep    int
+	ActiveAtEnd  int64
+	MessagesSent int64
+}

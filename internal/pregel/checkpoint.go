@@ -1,0 +1,192 @@
+package pregel
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// FileSystem is the storage abstraction the engine checkpoints into
+// and Graft writes trace files into. The dfs package provides
+// in-memory, local-disk and simulated-distributed implementations; the
+// interface is structural so any of them satisfies it.
+type FileSystem interface {
+	// Create opens a new file for writing, truncating any existing
+	// file at the path.
+	Create(path string) (io.WriteCloser, error)
+	// Open opens an existing file for reading.
+	Open(path string) (io.ReadCloser, error)
+	// List returns the paths of all files whose names start with
+	// prefix, in lexicographic order.
+	List(prefix string) ([]string, error)
+	// Remove deletes a file.
+	Remove(path string) error
+}
+
+const checkpointMagic = "GRFTCKPT1"
+
+func (en *engine) checkpointPath(superstep int) string {
+	return fmt.Sprintf("%scheckpoint_%08d", en.cfg.CheckpointPrefix, superstep)
+}
+
+// writeCheckpoint serializes the pre-superstep state: superstep
+// number, merged aggregator broadcast, every partition's vertices and
+// the undelivered messages feeding this superstep.
+func (en *engine) writeCheckpoint() error {
+	if en.cfg.CheckpointFS == nil {
+		return fmt.Errorf("CheckpointEvery set but CheckpointFS is nil")
+	}
+	e := NewEncoder()
+	e.PutString(checkpointMagic)
+	e.PutUvarint(uint64(en.superstep))
+	e.PutUvarint(uint64(len(en.parts)))
+	e.PutUvarint(uint64(len(en.job.aggNames)))
+	for _, name := range en.job.aggNames {
+		e.PutString(name)
+		EncodeTyped(e, en.broadcast[name])
+	}
+	for _, p := range en.parts {
+		ids := make([]VertexID, 0, len(p.verts))
+		for id := range p.verts {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		e.PutUvarint(uint64(len(ids)))
+		for _, id := range ids {
+			p.verts[id].encode(e)
+		}
+	}
+	for i := range en.parts {
+		en.cur.encode(i, e)
+	}
+
+	w, err := en.cfg.CheckpointFS.Create(en.checkpointPath(en.superstep))
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(e.Bytes()); err != nil {
+		w.Close()
+		return err
+	}
+	return w.Close()
+}
+
+// recoverFromCheckpoint restores the latest checkpoint at or before
+// the current superstep, rewinding the engine so the run loop resumes
+// from the checkpointed superstep.
+func (en *engine) recoverFromCheckpoint() error {
+	en.stats.Recoveries++
+	if en.stats.Recoveries > en.cfg.MaxRecoveries {
+		return ErrTooManyRecoveries
+	}
+	if en.cfg.CheckpointFS == nil {
+		return ErrNoCheckpoint
+	}
+	names, err := en.cfg.CheckpointFS.List(en.cfg.CheckpointPrefix + "checkpoint_")
+	if err != nil {
+		return err
+	}
+	best := -1
+	for _, name := range names {
+		idx := strings.LastIndex(name, "checkpoint_")
+		if idx < 0 {
+			continue
+		}
+		n, err := strconv.Atoi(name[idx+len("checkpoint_"):])
+		if err != nil {
+			continue
+		}
+		if n <= en.superstep && n > best {
+			best = n
+		}
+	}
+	if best < 0 {
+		return ErrNoCheckpoint
+	}
+	r, err := en.cfg.CheckpointFS.Open(en.checkpointPath(best))
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return err
+	}
+	return en.restore(raw)
+}
+
+func (en *engine) restore(raw []byte) error {
+	d := NewDecoder(raw)
+	if magic := d.String(); magic != checkpointMagic {
+		return fmt.Errorf("pregel: bad checkpoint magic %q", magic)
+	}
+	superstep := int(d.Uvarint())
+	numParts := int(d.Uvarint())
+	if numParts != len(en.parts) {
+		return fmt.Errorf("pregel: checkpoint has %d partitions, engine has %d", numParts, len(en.parts))
+	}
+	nAggs := int(d.Uvarint())
+	broadcast := make(map[string]Value, nAggs)
+	for i := 0; i < nAggs; i++ {
+		name := d.String()
+		v, err := DecodeTyped(d)
+		if err != nil {
+			return err
+		}
+		broadcast[name] = v
+	}
+	parts := make([]*partition, numParts)
+	for i := range parts {
+		p := &partition{idx: i, verts: make(map[VertexID]*Vertex)}
+		n := int(d.Uvarint())
+		if d.Err() != nil {
+			return d.Err()
+		}
+		for j := 0; j < n; j++ {
+			v, err := decodeVertex(d)
+			if err != nil {
+				return err
+			}
+			v.owner = p
+			p.verts[v.id] = v
+			p.ids = append(p.ids, v.id)
+			p.edges += int64(len(v.edges))
+		}
+		parts[i] = p
+	}
+	cur := newMessageStore(numParts, en.cfg.Combiner)
+	for i := 0; i < numParts; i++ {
+		if err := cur.decodeInto(i, d); err != nil {
+			return err
+		}
+	}
+	if d.Err() != nil {
+		return d.Err()
+	}
+
+	en.parts = parts
+	en.cur = cur
+	en.next = newMessageStore(numParts, en.cfg.Combiner)
+	en.broadcast = broadcast
+	en.superstep = superstep
+
+	// Re-point the input graph at the restored vertex objects; the
+	// pre-failure ones are stale and must not be what callers read
+	// after the run.
+	en.job.graph.vertices = make(map[VertexID]*Vertex)
+	for _, p := range parts {
+		for id, v := range p.verts {
+			en.job.graph.vertices[id] = v
+		}
+	}
+
+	// Per-superstep stats after the restore point are rewound so that
+	// the recorded history matches the re-executed run.
+	for len(en.stats.PerSuperstep) > 0 &&
+		en.stats.PerSuperstep[len(en.stats.PerSuperstep)-1].Superstep >= superstep {
+		en.stats.PerSuperstep = en.stats.PerSuperstep[:len(en.stats.PerSuperstep)-1]
+	}
+	return nil
+}

@@ -1,0 +1,50 @@
+package pregel
+
+// Standard message combiners mirroring Giraph's library. A combiner
+// reduces network and memory pressure by merging messages addressed to
+// the same vertex before delivery; algorithms that only need an
+// associative reduction of their inbox (min label, sum of ranks)
+// should install one.
+
+// MinLongCombiner keeps the minimum LongValue message, as used by
+// connected components.
+var MinLongCombiner Combiner = CombineFunc(func(_ VertexID, a, b Value) Value {
+	av, bv := a.(*LongValue), b.(*LongValue)
+	if bv.Get() < av.Get() {
+		return bv
+	}
+	return av
+})
+
+// MaxLongCombiner keeps the maximum LongValue message.
+var MaxLongCombiner Combiner = CombineFunc(func(_ VertexID, a, b Value) Value {
+	av, bv := a.(*LongValue), b.(*LongValue)
+	if bv.Get() > av.Get() {
+		return bv
+	}
+	return av
+})
+
+// SumLongCombiner sums LongValue messages.
+var SumLongCombiner Combiner = CombineFunc(func(_ VertexID, a, b Value) Value {
+	av := a.(*LongValue)
+	av.Set(av.Get() + b.(*LongValue).Get())
+	return av
+})
+
+// SumDoubleCombiner sums DoubleValue messages, as used by PageRank.
+var SumDoubleCombiner Combiner = CombineFunc(func(_ VertexID, a, b Value) Value {
+	av := a.(*DoubleValue)
+	av.Set(av.Get() + b.(*DoubleValue).Get())
+	return av
+})
+
+// MinDoubleCombiner keeps the minimum DoubleValue message, as used by
+// single-source shortest paths.
+var MinDoubleCombiner Combiner = CombineFunc(func(_ VertexID, a, b Value) Value {
+	av, bv := a.(*DoubleValue), b.(*DoubleValue)
+	if bv.Get() < av.Get() {
+		return bv
+	}
+	return av
+})

@@ -1,0 +1,117 @@
+package pregel
+
+import "fmt"
+
+// msgFlushBatch is how many outgoing messages a worker buffers per
+// destination partition before taking the destination shard's lock.
+const msgFlushBatch = 1024
+
+// workerCtx implements Context for one worker during one superstep.
+type workerCtx struct {
+	en          *engine
+	worker      int
+	superstep   int
+	numVertices int64
+	numEdges    int64
+
+	out        [][]msgEntry
+	sent       int64
+	aggPartial map[string]Value
+	removals   []VertexID
+	additions  []vertexAddition
+}
+
+func (c *workerCtx) Superstep() int          { return c.superstep }
+func (c *workerCtx) TotalNumVertices() int64 { return c.numVertices }
+func (c *workerCtx) TotalNumEdges() int64    { return c.numEdges }
+func (c *workerCtx) WorkerID() int           { return c.worker }
+
+func (c *workerCtx) GetAggregated(name string) Value {
+	v, ok := c.en.broadcast[name]
+	if !ok {
+		panic(fmt.Sprintf("pregel: GetAggregated: unregistered aggregator %q", name))
+	}
+	return v
+}
+
+func (c *workerCtx) Aggregate(name string, val Value) {
+	entry, ok := c.en.job.aggs[name]
+	if !ok {
+		panic(fmt.Sprintf("pregel: Aggregate: unregistered aggregator %q", name))
+	}
+	if cur, ok := c.aggPartial[name]; ok {
+		c.aggPartial[name] = entry.agg.Aggregate(cur, val)
+	} else {
+		c.aggPartial[name] = entry.agg.Aggregate(entry.agg.CreateInitial(), val)
+	}
+}
+
+func (c *workerCtx) SendMessage(to VertexID, msg Value) {
+	p := c.en.partitionFor(to)
+	c.out[p] = append(c.out[p], msgEntry{to: to, msg: msg})
+	c.sent++
+	if len(c.out[p]) >= msgFlushBatch {
+		c.en.next.deliver(p, c.out[p])
+		c.out[p] = c.out[p][:0]
+	}
+}
+
+func (c *workerCtx) SendMessageToAllEdges(v *Vertex, msg Value) {
+	// Each recipient must get its own Value: a combiner is allowed to
+	// mutate stored messages, so sharing one object across inboxes
+	// would corrupt them.
+	for i := range v.edges {
+		m := msg
+		if i > 0 {
+			m = msg.Clone()
+		}
+		c.SendMessage(v.edges[i].Target, m)
+	}
+}
+
+func (c *workerCtx) RemoveVertexRequest(id VertexID) {
+	c.removals = append(c.removals, id)
+}
+
+func (c *workerCtx) AddVertexRequest(id VertexID, value Value) {
+	c.additions = append(c.additions, vertexAddition{id: id, value: value})
+}
+
+func (c *workerCtx) flushAll() {
+	for p := range c.out {
+		if len(c.out[p]) > 0 {
+			c.en.next.deliver(p, c.out[p])
+			c.out[p] = nil
+		}
+	}
+}
+
+// masterCtx implements MasterContext for one superstep.
+type masterCtx struct {
+	en          *engine
+	numVertices int64
+	numEdges    int64
+	halted      bool
+}
+
+func (m *masterCtx) Superstep() int          { return m.en.superstep }
+func (m *masterCtx) TotalNumVertices() int64 { return m.numVertices }
+func (m *masterCtx) TotalNumEdges() int64    { return m.numEdges }
+func (m *masterCtx) HaltComputation()        { m.halted = true }
+
+func (m *masterCtx) GetAggregated(name string) Value {
+	v, ok := m.en.broadcast[name]
+	if !ok {
+		panic(fmt.Sprintf("pregel: GetAggregated: unregistered aggregator %q", name))
+	}
+	return v
+}
+
+func (m *masterCtx) AggregatedNames() []string { return m.en.job.aggNames }
+
+func (m *masterCtx) SetAggregated(name string, val Value) {
+	if _, ok := m.en.job.aggs[name]; !ok {
+		panic(fmt.Sprintf("pregel: SetAggregated: unregistered aggregator %q", name))
+	}
+	m.en.broadcast[name] = val
+}

@@ -1,0 +1,178 @@
+package pregel
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// TestMessageFlushBatching sends far more messages than one flush
+// batch from a single vertex and checks nothing is lost or reordered
+// across the batch boundary.
+func TestMessageFlushBatching(t *testing.T) {
+	const fanout = 3 * msgFlushBatch
+	g := NewGraph()
+	g.AddVertex(0, NewLong(0))
+	for i := 1; i <= fanout; i++ {
+		g.AddVertex(VertexID(i), NewLong(0))
+	}
+	var delivered atomic.Int64
+	comp := ComputeFunc(func(ctx Context, v *Vertex, msgs []Value) error {
+		if ctx.Superstep() == 0 && v.ID() == 0 {
+			for i := 1; i <= fanout; i++ {
+				ctx.SendMessage(VertexID(i), NewLong(int64(i)))
+			}
+		}
+		if ctx.Superstep() == 1 && len(msgs) > 0 {
+			if got := msgs[0].(*LongValue).Get(); got != int64(v.ID()) {
+				t.Errorf("vertex %d got %d", v.ID(), got)
+			}
+			delivered.Add(int64(len(msgs)))
+		}
+		v.VoteToHalt()
+		return nil
+	})
+	stats, err := NewJob(g, comp, Config{NumWorkers: 4}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delivered.Load() != fanout {
+		t.Errorf("delivered %d of %d messages", delivered.Load(), fanout)
+	}
+	if stats.TotalMessages != fanout {
+		t.Errorf("TotalMessages = %d", stats.TotalMessages)
+	}
+}
+
+// TestWorkerIDStableWithinPartition checks that a vertex sees the same
+// worker ID every superstep (hash partitioning is static).
+func TestWorkerIDStableWithinPartition(t *testing.T) {
+	g := pathGraph(t, 50)
+	workers := map[VertexID]int{}
+	comp := ComputeFunc(func(ctx Context, v *Vertex, msgs []Value) error {
+		if prev, seen := workers[v.ID()]; seen && prev != ctx.WorkerID() {
+			t.Errorf("vertex %d moved from worker %d to %d", v.ID(), prev, ctx.WorkerID())
+		}
+		workers[v.ID()] = ctx.WorkerID()
+		if ctx.Superstep() >= 3 {
+			v.VoteToHalt()
+		}
+		return nil
+	})
+	// NumWorkers 1 keeps map writes single-threaded for the test.
+	if _, err := NewJob(g, comp, Config{NumWorkers: 1}).Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAggregateAcrossWorkersMerges verifies that partial aggregates
+// from distinct workers merge, not overwrite.
+func TestAggregateAcrossWorkersMerges(t *testing.T) {
+	const n = 1000
+	g := NewGraph()
+	for i := 0; i < n; i++ {
+		g.AddVertex(VertexID(i), nil)
+	}
+	var got int64 = -1
+	comp := ComputeFunc(func(ctx Context, v *Vertex, msgs []Value) error {
+		if ctx.Superstep() == 0 {
+			ctx.Aggregate("sum", NewLong(int64(v.ID())))
+			return nil
+		}
+		if v.ID() == 0 {
+			got = ctx.GetAggregated("sum").(*LongValue).Get()
+		}
+		v.VoteToHalt()
+		return nil
+	})
+	job := NewJob(g, comp, Config{NumWorkers: 8})
+	job.RegisterAggregator("sum", LongSumAggregator{}, false)
+	if _, err := job.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(n * (n - 1) / 2); got != want {
+		t.Errorf("sum = %d, want %d", got, want)
+	}
+}
+
+// TestMaxAndMinAndBoolAggregators exercises the remaining standard
+// aggregators end to end.
+func TestMaxAndMinAndBoolAggregators(t *testing.T) {
+	g := pathGraph(t, 10)
+	results := map[string]string{}
+	comp := ComputeFunc(func(ctx Context, v *Vertex, msgs []Value) error {
+		if ctx.Superstep() == 0 {
+			ctx.Aggregate("max", NewLong(int64(v.ID())))
+			ctx.Aggregate("min", NewLong(int64(v.ID())))
+			ctx.Aggregate("dmax", NewDouble(float64(v.ID())/2))
+			ctx.Aggregate("dsum", NewDouble(1))
+			ctx.Aggregate("or", NewBool(v.ID() == 3))
+			ctx.Aggregate("and", NewBool(v.ID() != 3))
+			return nil
+		}
+		if v.ID() == 0 {
+			for _, name := range []string{"max", "min", "dmax", "dsum", "or", "and"} {
+				results[name] = ctx.GetAggregated(name).String()
+			}
+		}
+		v.VoteToHalt()
+		return nil
+	})
+	job := NewJob(g, comp, Config{NumWorkers: 3})
+	job.RegisterAggregator("max", LongMaxAggregator{}, false)
+	job.RegisterAggregator("min", LongMinAggregator{}, false)
+	job.RegisterAggregator("dmax", DoubleMaxAggregator{}, false)
+	job.RegisterAggregator("dsum", DoubleSumAggregator{}, false)
+	job.RegisterAggregator("or", BoolOrAggregator{}, false)
+	job.RegisterAggregator("and", BoolAndAggregator{}, false)
+	if _, err := job.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{
+		"max": "9", "min": "0", "dmax": "4.5", "dsum": "10",
+		"or": "true", "and": "false",
+	}
+	for name, w := range want {
+		if results[name] != w {
+			t.Errorf("%s = %q, want %q", name, results[name], w)
+		}
+	}
+}
+
+// TestCombinersDirect unit-tests the remaining combiner library.
+func TestCombinersDirect(t *testing.T) {
+	if got := MaxLongCombiner.Combine(0, NewLong(3), NewLong(7)).(*LongValue).Get(); got != 7 {
+		t.Errorf("MaxLong = %d", got)
+	}
+	if got := MaxLongCombiner.Combine(0, NewLong(9), NewLong(7)).(*LongValue).Get(); got != 9 {
+		t.Errorf("MaxLong = %d", got)
+	}
+	if got := SumDoubleCombiner.Combine(0, NewDouble(1.5), NewDouble(2)).(*DoubleValue).Get(); got != 3.5 {
+		t.Errorf("SumDouble = %v", got)
+	}
+	if got := MinDoubleCombiner.Combine(0, NewDouble(1.5), NewDouble(2)).(*DoubleValue).Get(); got != 1.5 {
+		t.Errorf("MinDouble = %v", got)
+	}
+	if got := MinLongCombiner.Combine(0, NewLong(3), NewLong(2)).(*LongValue).Get(); got != 2 {
+		t.Errorf("MinLong = %d", got)
+	}
+	if got := SumLongCombiner.Combine(0, NewLong(3), NewLong(2)).(*LongValue).Get(); got != 5 {
+		t.Errorf("SumLong = %d", got)
+	}
+}
+
+// TestOverwriteAggregators covers the overwrite semantics used by
+// master phase coordination.
+func TestOverwriteAggregators(t *testing.T) {
+	lo := LongOverwriteAggregator{}
+	v := lo.Aggregate(lo.CreateInitial(), NewLong(5))
+	v = lo.Aggregate(v, NewLong(9))
+	if v.(*LongValue).Get() != 9 {
+		t.Errorf("long overwrite = %v", v)
+	}
+	to := TextOverwriteAggregator{}
+	tv := to.Aggregate(to.CreateInitial(), NewText("A"))
+	tv = to.Aggregate(tv, NewText("B"))
+	if tv.(*TextValue).Get() != "B" {
+		t.Errorf("text overwrite = %v", tv)
+	}
+}

@@ -1,0 +1,553 @@
+package pregel
+
+import (
+	"fmt"
+	"runtime/debug"
+	"sort"
+	"sync"
+	"time"
+)
+
+// TerminationReason explains why a job stopped.
+type TerminationReason int
+
+const (
+	// ReasonConverged means every vertex voted to halt and no messages
+	// were in flight.
+	ReasonConverged TerminationReason = iota
+	// ReasonMasterHalted means master.compute called HaltComputation.
+	ReasonMasterHalted
+	// ReasonMaxSupersteps means the Config.MaxSupersteps safety limit
+	// was reached (how the maximum-weight-matching scenario's infinite
+	// loop surfaces, paper §4.3).
+	ReasonMaxSupersteps
+)
+
+func (r TerminationReason) String() string {
+	switch r {
+	case ReasonConverged:
+		return "converged"
+	case ReasonMasterHalted:
+		return "master-halted"
+	case ReasonMaxSupersteps:
+		return "max-supersteps"
+	}
+	return fmt.Sprintf("TerminationReason(%d)", int(r))
+}
+
+// Stats summarizes a finished job.
+type Stats struct {
+	// Supersteps is the number of supersteps executed (superstep
+	// numbers 0..Supersteps-1).
+	Supersteps int
+	Reason     TerminationReason
+	// TotalMessages counts messages sent over the whole job, before
+	// combining.
+	TotalMessages int64
+	// MessagesDropped counts messages addressed to nonexistent
+	// vertices when Config.CreateMissingVertices is false.
+	MessagesDropped int64
+	// Recoveries counts checkpoint recoveries triggered by failure
+	// injection.
+	Recoveries int
+	Runtime    time.Duration
+	// PerSuperstep has one entry per executed superstep.
+	PerSuperstep []SuperstepStats
+}
+
+// DefaultNumWorkers is used when Config.NumWorkers is zero.
+const DefaultNumWorkers = 4
+
+// Config configures a Job. The zero value runs with DefaultNumWorkers
+// workers, no superstep limit, no master, no combiner and no
+// checkpointing.
+type Config struct {
+	// NumWorkers is the number of concurrent worker goroutines, each
+	// owning one hash partition of the vertices.
+	NumWorkers int
+	// MaxSupersteps stops the job after this many supersteps; 0 means
+	// unlimited. It is the safety net that surfaces non-converging
+	// algorithms (paper §4.3).
+	MaxSupersteps int
+	// Combiner, if non-nil, merges messages per destination vertex.
+	Combiner Combiner
+	// Master, if non-nil, runs at the beginning of every superstep.
+	Master MasterComputation
+	// CreateMissingVertices makes a message to a nonexistent vertex
+	// create it (Giraph's default resolver). When false such messages
+	// are dropped and counted in Stats.MessagesDropped.
+	CreateMissingVertices bool
+	// DefaultVertexValue supplies values for vertices created by
+	// CreateMissingVertices and AddVertexRequest(id, nil).
+	DefaultVertexValue func() Value
+	// Listener observes job progress; may be nil.
+	Listener JobListener
+	// CheckpointEvery writes a checkpoint before every Nth superstep
+	// (0 disables checkpointing). Requires CheckpointFS.
+	CheckpointEvery int
+	// CheckpointFS is where checkpoints are written.
+	CheckpointFS FileSystem
+	// CheckpointPrefix prefixes checkpoint file names.
+	CheckpointPrefix string
+	// FailureAt, if non-nil, is consulted after each superstep's
+	// barrier; returning true simulates a worker crash, forcing
+	// recovery from the latest checkpoint. Used by fault-tolerance
+	// tests.
+	FailureAt func(superstep int) bool
+	// MaxRecoveries bounds recovery attempts (default 3).
+	MaxRecoveries int
+}
+
+type aggEntry struct {
+	agg        Aggregator
+	persistent bool
+}
+
+// Job binds a graph, a computation and a configuration. Construct
+// with NewJob, register aggregators, then Run. A Job takes ownership
+// of the graph: values and topology are mutated in place, so callers
+// that reuse a dataset across runs must pass graph.Clone().
+type Job struct {
+	cfg      Config
+	comp     Computation
+	graph    *Graph
+	aggs     map[string]aggEntry
+	aggNames []string
+}
+
+// NewJob creates a job over g running comp.
+func NewJob(g *Graph, comp Computation, cfg Config) *Job {
+	if cfg.NumWorkers <= 0 {
+		cfg.NumWorkers = DefaultNumWorkers
+	}
+	if cfg.MaxRecoveries == 0 {
+		cfg.MaxRecoveries = 3
+	}
+	return &Job{cfg: cfg, comp: comp, graph: g, aggs: map[string]aggEntry{}}
+}
+
+// RegisterAggregator registers a named aggregator. Persistent
+// aggregators accumulate across supersteps; regular ones reset to the
+// initial value at every superstep boundary (Giraph semantics).
+// Registering a duplicate name panics: it is a programming error that
+// would silently corrupt aggregation.
+func (j *Job) RegisterAggregator(name string, agg Aggregator, persistent bool) {
+	if _, dup := j.aggs[name]; dup {
+		panic("pregel: duplicate aggregator registration: " + name)
+	}
+	j.aggs[name] = aggEntry{agg: agg, persistent: persistent}
+	j.aggNames = append(j.aggNames, name)
+	sort.Strings(j.aggNames)
+}
+
+// Config returns the job's configuration (after defaulting).
+func (j *Job) Config() Config { return j.cfg }
+
+// Run executes the job to termination and returns its statistics.
+func (j *Job) Run() (*Stats, error) {
+	en := newEngine(j)
+	return en.run()
+}
+
+// partition is the set of vertices owned by one worker.
+type partition struct {
+	idx     int
+	verts   map[VertexID]*Vertex
+	ids     []VertexID // iteration order; may contain removed IDs
+	removed int        // stale entries in ids
+	edges   int64      // current out-edge count of the partition
+	// edgeDelta accumulates Vertex.AddEdge/RemoveEdges deltas during a
+	// superstep; only the owning worker writes it, and the coordinator
+	// folds it into edges at the barrier.
+	edgeDelta int
+}
+
+func (p *partition) compactIfNeeded() {
+	if p.removed <= len(p.ids)/2 || p.removed == 0 {
+		return
+	}
+	ids := make([]VertexID, 0, len(p.verts))
+	for id := range p.verts {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	p.ids = ids
+	p.removed = 0
+}
+
+type vertexAddition struct {
+	id    VertexID
+	value Value
+}
+
+type workerResult struct {
+	active     int64
+	sent       int64
+	aggPartial map[string]Value
+	removals   []VertexID
+	additions  []vertexAddition
+}
+
+type engine struct {
+	job       *Job
+	cfg       *Config
+	parts     []*partition
+	cur, next *messageStore
+	broadcast map[string]Value
+	superstep int
+	stats     Stats
+
+	lastCheckpoint int // superstep of the last written checkpoint, -1 if none
+}
+
+func newEngine(j *Job) *engine {
+	en := &engine{job: j, cfg: &j.cfg, lastCheckpoint: -1}
+	w := j.cfg.NumWorkers
+	en.parts = make([]*partition, w)
+	for i := range en.parts {
+		en.parts[i] = &partition{idx: i, verts: make(map[VertexID]*Vertex)}
+	}
+	for _, id := range j.graph.VertexIDs() {
+		v := j.graph.vertices[id]
+		p := en.parts[en.partitionFor(id)]
+		v.owner = p
+		p.verts[id] = v
+		p.ids = append(p.ids, id)
+		p.edges += int64(len(v.edges))
+	}
+	en.cur = newMessageStore(w, j.cfg.Combiner)
+	en.next = newMessageStore(w, j.cfg.Combiner)
+	en.broadcast = make(map[string]Value, len(j.aggs))
+	for name, entry := range j.aggs {
+		en.broadcast[name] = entry.agg.CreateInitial()
+	}
+	return en
+}
+
+// partitionFor hashes a vertex ID to a worker. Fibonacci hashing keeps
+// consecutive IDs (the common case for generated graphs) spread evenly.
+func (en *engine) partitionFor(id VertexID) int {
+	h := uint64(id) * 0x9E3779B97F4A7C15
+	return int(h % uint64(len(en.parts)))
+}
+
+func (en *engine) totals() (nv, ne int64) {
+	for _, p := range en.parts {
+		nv += int64(len(p.verts))
+		ne += p.edges
+	}
+	return nv, ne
+}
+
+func (en *engine) cloneAggSnapshot() map[string]Value {
+	m := make(map[string]Value, len(en.broadcast))
+	for name, v := range en.broadcast {
+		m[name] = CloneValue(v)
+	}
+	return m
+}
+
+func (en *engine) run() (*Stats, error) {
+	start := time.Now()
+	listener := en.cfg.Listener
+	nv, ne := en.totals()
+	if listener != nil {
+		listener.JobStarted(JobInfo{NumWorkers: len(en.parts), NumVertices: nv, NumEdges: ne})
+	}
+	finish := func(err error) (*Stats, error) {
+		en.stats.Supersteps = en.superstep
+		en.stats.Runtime = time.Since(start)
+		if listener != nil {
+			listener.JobFinished(&en.stats, err)
+		}
+		if err != nil {
+			return nil, err
+		}
+		return &en.stats, nil
+	}
+
+	for {
+		if en.cfg.MaxSupersteps > 0 && en.superstep >= en.cfg.MaxSupersteps {
+			en.stats.Reason = ReasonMaxSupersteps
+			return finish(nil)
+		}
+		nv, ne = en.totals()
+
+		// Checkpoint the pre-superstep state (graph, undelivered
+		// messages, merged aggregators) before the master can mutate
+		// anything.
+		if en.cfg.CheckpointEvery > 0 && en.superstep%en.cfg.CheckpointEvery == 0 &&
+			en.superstep != en.lastCheckpoint {
+			if err := en.writeCheckpoint(); err != nil {
+				return finish(fmt.Errorf("pregel: checkpoint at superstep %d: %w", en.superstep, err))
+			}
+			en.lastCheckpoint = en.superstep
+		}
+
+		// Master phase: runs at the beginning of the superstep with
+		// the aggregator values merged from the previous one.
+		if en.cfg.Master != nil {
+			mctx := &masterCtx{en: en, numVertices: nv, numEdges: ne}
+			if err := en.safeMasterCompute(mctx); err != nil {
+				return finish(err)
+			}
+			if mctx.halted {
+				en.stats.Reason = ReasonMasterHalted
+				return finish(nil)
+			}
+		}
+
+		info := SuperstepInfo{
+			Superstep:   en.superstep,
+			NumVertices: nv,
+			NumEdges:    ne,
+			Aggregated:  en.cloneAggSnapshot(),
+		}
+		if listener != nil {
+			listener.SuperstepStarted(en.superstep, info)
+		}
+
+		// Worker phase.
+		results := make([]workerResult, len(en.parts))
+		errs := make([]error, len(en.parts))
+		var wg sync.WaitGroup
+		for w := range en.parts {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				results[w], errs[w] = en.runWorker(w, nv, ne)
+			}(w)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return finish(err)
+			}
+		}
+
+		// Barrier: fold results, apply mutations, merge aggregators.
+		var active int64
+		for w := range results {
+			active += results[w].active
+		}
+		en.applyMutations(results)
+		en.mergeAggregators(results)
+		sent := en.next.total()
+		en.stats.TotalMessages += sent
+		droppedNow := en.integrateMissing()
+		en.stats.MessagesDropped += droppedNow
+		ss := SuperstepStats{Superstep: en.superstep, ActiveAtEnd: active, MessagesSent: sent}
+		en.stats.PerSuperstep = append(en.stats.PerSuperstep, ss)
+		if listener != nil {
+			listener.SuperstepFinished(en.superstep, ss)
+		}
+
+		// Simulated worker failure and checkpoint recovery.
+		if en.cfg.FailureAt != nil && en.cfg.FailureAt(en.superstep) {
+			if err := en.recoverFromCheckpoint(); err != nil {
+				return finish(err)
+			}
+			continue
+		}
+
+		pending := en.next.total() - droppedNow
+		en.cur = en.next
+		en.next = newMessageStore(len(en.parts), en.cfg.Combiner)
+		en.superstep++
+		if active == 0 && pending == 0 {
+			en.stats.Reason = ReasonConverged
+			return finish(nil)
+		}
+	}
+}
+
+func (en *engine) safeMasterCompute(mctx *masterCtx) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = &ComputeError{
+				VertexID:  MasterVertexID,
+				Superstep: en.superstep,
+				Panic:     p,
+				Stack:     string(debug.Stack()),
+			}
+		}
+	}()
+	if cerr := en.cfg.Master.Compute(mctx); cerr != nil {
+		return &ComputeError{VertexID: MasterVertexID, Superstep: en.superstep, Err: cerr}
+	}
+	return nil
+}
+
+func (en *engine) runWorker(w int, nv, ne int64) (workerResult, error) {
+	var res workerResult
+	part := en.parts[w]
+	ctx := &workerCtx{
+		en:          en,
+		worker:      w,
+		superstep:   en.superstep,
+		numVertices: nv,
+		numEdges:    ne,
+		out:         make([][]msgEntry, len(en.parts)),
+		aggPartial:  map[string]Value{},
+	}
+	for i := 0; i < len(part.ids); i++ {
+		v, ok := part.verts[part.ids[i]]
+		if !ok {
+			continue
+		}
+		msgs := en.cur.take(w, v.id)
+		if v.halted {
+			if len(msgs) == 0 {
+				continue
+			}
+			v.halted = false
+		}
+		if err := en.safeCompute(ctx, v, msgs); err != nil {
+			return res, err
+		}
+		if !v.halted {
+			res.active++
+		}
+	}
+	ctx.flushAll()
+	res.sent = ctx.sent
+	res.aggPartial = ctx.aggPartial
+	res.removals = ctx.removals
+	res.additions = ctx.additions
+	return res, nil
+}
+
+func (en *engine) safeCompute(ctx *workerCtx, v *Vertex, msgs []Value) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = &ComputeError{
+				VertexID:  v.id,
+				Superstep: ctx.superstep,
+				Worker:    ctx.worker,
+				Panic:     p,
+				Stack:     string(debug.Stack()),
+			}
+		}
+	}()
+	if cerr := en.job.comp.Compute(ctx, v, msgs); cerr != nil {
+		return &ComputeError{VertexID: v.id, Superstep: ctx.superstep, Worker: ctx.worker, Err: cerr}
+	}
+	return nil
+}
+
+// integrateMissing resolves messages addressed to vertices that do not
+// exist, at the barrier (Giraph's default vertex resolver): with
+// CreateMissingVertices the vertex is created so it computes next
+// superstep; otherwise the messages are removed from the store and
+// counted as dropped. Each partition is scanned by its own goroutine;
+// the coordinator then mirrors the created vertices into the input
+// graph so callers observe them after the run.
+func (en *engine) integrateMissing() int64 {
+	dropped := make([]int64, len(en.parts))
+	created := make([][]*Vertex, len(en.parts))
+	var wg sync.WaitGroup
+	for w := range en.parts {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			part := en.parts[w]
+			for _, id := range en.next.pendingIDs(w, part.verts) {
+				if en.cfg.CreateMissingVertices {
+					var val Value
+					if en.cfg.DefaultVertexValue != nil {
+						val = en.cfg.DefaultVertexValue()
+					}
+					v := &Vertex{id: id, value: val, owner: part}
+					part.verts[id] = v
+					part.ids = append(part.ids, id)
+					created[w] = append(created[w], v)
+				} else {
+					dropped[w] += int64(len(en.next.take(w, id)))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, vs := range created {
+		for _, v := range vs {
+			en.job.graph.vertices[v.id] = v
+		}
+	}
+	var total int64
+	for _, d := range dropped {
+		total += d
+	}
+	return total
+}
+
+// applyMutations resolves queued vertex removals and additions on the
+// coordinator goroutine, in sorted ID order for determinism. A vertex
+// both removed and added in the same superstep ends up added.
+func (en *engine) applyMutations(results []workerResult) {
+	var removals []VertexID
+	var additions []vertexAddition
+	for w := range results {
+		removals = append(removals, results[w].removals...)
+		additions = append(additions, results[w].additions...)
+	}
+	if len(removals) > 0 {
+		sort.Slice(removals, func(i, j int) bool { return removals[i] < removals[j] })
+		for _, id := range removals {
+			p := en.parts[en.partitionFor(id)]
+			if v, ok := p.verts[id]; ok {
+				p.edges -= int64(len(v.edges))
+				// Removed vertices leave the computation but stay
+				// reachable through the input graph: their final state
+				// is often the algorithm's output (matching partners
+				// in MWM).
+				delete(p.verts, id)
+				p.removed++
+			}
+		}
+	}
+	if len(additions) > 0 {
+		sort.Slice(additions, func(i, j int) bool { return additions[i].id < additions[j].id })
+		for _, add := range additions {
+			p := en.parts[en.partitionFor(add.id)]
+			if _, exists := p.verts[add.id]; exists {
+				continue
+			}
+			val := add.value
+			if val == nil && en.cfg.DefaultVertexValue != nil {
+				val = en.cfg.DefaultVertexValue()
+			}
+			v := &Vertex{id: add.id, value: val, owner: p}
+			p.verts[add.id] = v
+			p.ids = append(p.ids, add.id)
+			en.job.graph.vertices[add.id] = v
+		}
+	}
+	for _, p := range en.parts {
+		p.edges += int64(p.edgeDelta)
+		p.edgeDelta = 0
+		p.compactIfNeeded()
+	}
+}
+
+// mergeAggregators folds worker aggregator partials into the broadcast
+// map for the next superstep. Regular aggregators restart from their
+// initial value; persistent ones accumulate onto the current broadcast.
+func (en *engine) mergeAggregators(results []workerResult) {
+	next := make(map[string]Value, len(en.job.aggs))
+	for _, name := range en.job.aggNames {
+		entry := en.job.aggs[name]
+		var acc Value
+		if entry.persistent {
+			acc = en.broadcast[name]
+		} else {
+			acc = entry.agg.CreateInitial()
+		}
+		for w := range results {
+			if p, ok := results[w].aggPartial[name]; ok {
+				acc = entry.agg.Aggregate(acc, p)
+			}
+		}
+		next[name] = acc
+	}
+	en.broadcast = next
+}

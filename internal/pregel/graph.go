@@ -1,0 +1,124 @@
+package pregel
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is an input graph under construction. It is not safe for
+// concurrent mutation; build it single-threaded (or per-goroutine and
+// Merge), then hand it to a Job, which partitions it across workers.
+type Graph struct {
+	vertices map[VertexID]*Vertex
+	numEdges int64
+}
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph {
+	return &Graph{vertices: make(map[VertexID]*Vertex)}
+}
+
+// AddVertex inserts a vertex with the given value, replacing any
+// existing vertex with the same ID (and its edges).
+func (g *Graph) AddVertex(id VertexID, value Value) *Vertex {
+	if old, ok := g.vertices[id]; ok {
+		g.numEdges -= int64(len(old.edges))
+	}
+	v := &Vertex{id: id, value: value}
+	g.vertices[id] = v
+	return v
+}
+
+// EnsureVertex returns the vertex with the given ID, creating it with
+// value defaultValue() if absent.
+func (g *Graph) EnsureVertex(id VertexID, defaultValue func() Value) *Vertex {
+	if v, ok := g.vertices[id]; ok {
+		return v
+	}
+	var val Value
+	if defaultValue != nil {
+		val = defaultValue()
+	}
+	return g.AddVertex(id, val)
+}
+
+// Vertex returns the vertex with the given ID, or nil.
+func (g *Graph) Vertex(id VertexID) *Vertex {
+	return g.vertices[id]
+}
+
+// AddEdge adds a directed edge. Both endpoints must already exist;
+// use EnsureVertex when loading edge lists.
+func (g *Graph) AddEdge(from, to VertexID, value Value) error {
+	v, ok := g.vertices[from]
+	if !ok {
+		return fmt.Errorf("pregel: AddEdge: no vertex %d", from)
+	}
+	if _, ok := g.vertices[to]; !ok {
+		return fmt.Errorf("pregel: AddEdge: no vertex %d", to)
+	}
+	v.AddEdge(Edge{Target: to, Value: value})
+	g.numEdges++
+	return nil
+}
+
+// AddUndirectedEdge adds symmetric directed edges in both directions,
+// cloning the value for the reverse edge.
+func (g *Graph) AddUndirectedEdge(a, b VertexID, value Value) error {
+	if err := g.AddEdge(a, b, value); err != nil {
+		return err
+	}
+	return g.AddEdge(b, a, CloneValue(value))
+}
+
+// NumVertices returns the vertex count.
+func (g *Graph) NumVertices() int64 { return int64(len(g.vertices)) }
+
+// NumEdges returns the directed edge count.
+func (g *Graph) NumEdges() int64 {
+	// Recount lazily: edges may have been added through Vertex.AddEdge
+	// by callers holding a *Vertex (detached vertices do not update
+	// graph counters).
+	var n int64
+	for _, v := range g.vertices {
+		n += int64(len(v.edges))
+	}
+	g.numEdges = n
+	return n
+}
+
+// VertexIDs returns all IDs in ascending order.
+func (g *Graph) VertexIDs() []VertexID {
+	ids := make([]VertexID, 0, len(g.vertices))
+	for id := range g.vertices {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Each calls fn for every vertex in ascending ID order.
+func (g *Graph) Each(fn func(*Vertex)) {
+	for _, id := range g.VertexIDs() {
+		fn(g.vertices[id])
+	}
+}
+
+// Clone deep-copies the graph, so one generated dataset can feed many
+// runs (algorithms mutate values and, for matching, topology).
+func (g *Graph) Clone() *Graph {
+	c := NewGraph()
+	for id, v := range g.vertices {
+		c.vertices[id] = v.CloneDetached()
+	}
+	c.numEdges = g.NumEdges()
+	return c
+}
+
+// SortAllEdges orders every adjacency list by target ID so that runs
+// are deterministic regardless of construction order.
+func (g *Graph) SortAllEdges() {
+	for _, v := range g.vertices {
+		v.SortEdges()
+	}
+}

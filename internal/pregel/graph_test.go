@@ -1,0 +1,199 @@
+package pregel
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGraphBuild(t *testing.T) {
+	g := NewGraph()
+	g.AddVertex(1, NewLong(10))
+	g.AddVertex(2, NewLong(20))
+	g.AddVertex(3, nil)
+	if err := g.AddEdge(1, 2, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddUndirectedEdge(2, 3, NewDouble(1.5)); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 3 {
+		t.Errorf("NumVertices = %d, want 3", g.NumVertices())
+	}
+	if g.NumEdges() != 3 {
+		t.Errorf("NumEdges = %d, want 3", g.NumEdges())
+	}
+	if err := g.AddEdge(1, 99, nil); err == nil {
+		t.Error("expected error for edge to missing vertex")
+	}
+	if err := g.AddEdge(99, 1, nil); err == nil {
+		t.Error("expected error for edge from missing vertex")
+	}
+	ids := g.VertexIDs()
+	if len(ids) != 3 || ids[0] != 1 || ids[1] != 2 || ids[2] != 3 {
+		t.Errorf("VertexIDs = %v", ids)
+	}
+}
+
+func TestGraphAddVertexReplaces(t *testing.T) {
+	g := NewGraph()
+	g.AddVertex(1, NewLong(1))
+	g.AddVertex(2, NewLong(2))
+	if err := g.AddEdge(1, 2, nil); err != nil {
+		t.Fatal(err)
+	}
+	g.AddVertex(1, NewLong(100)) // replaces vertex and drops its edges
+	if g.NumEdges() != 0 {
+		t.Errorf("edges after replace = %d, want 0", g.NumEdges())
+	}
+	if got := g.Vertex(1).Value().(*LongValue).Get(); got != 100 {
+		t.Errorf("value after replace = %d", got)
+	}
+}
+
+func TestGraphEnsureVertex(t *testing.T) {
+	g := NewGraph()
+	v := g.EnsureVertex(5, func() Value { return NewLong(7) })
+	if v.Value().(*LongValue).Get() != 7 {
+		t.Error("default value not applied")
+	}
+	again := g.EnsureVertex(5, func() Value { return NewLong(9) })
+	if again != v {
+		t.Error("EnsureVertex created a duplicate")
+	}
+	nilDefault := g.EnsureVertex(6, nil)
+	if nilDefault.Value() != nil {
+		t.Error("nil default should yield nil value")
+	}
+}
+
+func TestGraphCloneIsDeep(t *testing.T) {
+	g := NewGraph()
+	g.AddVertex(1, NewLong(1))
+	g.AddVertex(2, NewLong(2))
+	if err := g.AddEdge(1, 2, NewDouble(3.5)); err != nil {
+		t.Fatal(err)
+	}
+	c := g.Clone()
+	c.Vertex(1).Value().(*LongValue).Set(999)
+	c.Vertex(1).Edges()[0].Value.(*DoubleValue).Set(0)
+	c.Vertex(2).VoteToHalt()
+	c.Vertex(1).AddEdge(Edge{Target: 2})
+
+	if g.Vertex(1).Value().(*LongValue).Get() != 1 {
+		t.Error("clone shares vertex values")
+	}
+	if g.Vertex(1).Edges()[0].Value.(*DoubleValue).Get() != 3.5 {
+		t.Error("clone shares edge values")
+	}
+	if g.Vertex(2).Halted() {
+		t.Error("clone shares halted flag")
+	}
+	if g.Vertex(1).NumEdges() != 1 {
+		t.Error("clone shares adjacency")
+	}
+	if c.NumVertices() != g.NumVertices() {
+		t.Error("clone vertex count mismatch")
+	}
+}
+
+func TestVertexEdgeOps(t *testing.T) {
+	v := NewDetachedVertex(1, NewLong(0))
+	v.AddEdge(Edge{Target: 3, Value: NewDouble(1)})
+	v.AddEdge(Edge{Target: 2, Value: NewDouble(2)})
+	v.AddEdge(Edge{Target: 3, Value: NewDouble(3)}) // duplicate target allowed
+
+	if v.NumEdges() != 3 {
+		t.Fatalf("NumEdges = %d", v.NumEdges())
+	}
+	if !v.HasEdge(2) || v.HasEdge(99) {
+		t.Error("HasEdge wrong")
+	}
+	if val, ok := v.EdgeValue(3); !ok || val.(*DoubleValue).Get() != 1 {
+		t.Error("EdgeValue should return first matching edge")
+	}
+	if !v.SetEdgeValue(2, NewDouble(20)) {
+		t.Error("SetEdgeValue failed")
+	}
+	if val, _ := v.EdgeValue(2); val.(*DoubleValue).Get() != 20 {
+		t.Error("SetEdgeValue did not stick")
+	}
+	if v.SetEdgeValue(99, NewDouble(0)) {
+		t.Error("SetEdgeValue to missing edge should fail")
+	}
+
+	v.SortEdges()
+	if v.Edges()[0].Target != 2 {
+		t.Errorf("after sort, first target = %d", v.Edges()[0].Target)
+	}
+
+	if n := v.RemoveEdges(3); n != 2 {
+		t.Errorf("RemoveEdges(3) = %d, want 2", n)
+	}
+	if v.NumEdges() != 1 {
+		t.Errorf("NumEdges after remove = %d", v.NumEdges())
+	}
+	v.RemoveAllEdges()
+	if v.NumEdges() != 0 {
+		t.Error("RemoveAllEdges left edges")
+	}
+}
+
+func TestVertexEncodeDecode(t *testing.T) {
+	v := NewDetachedVertex(42, NewText("hello"))
+	v.AddEdge(Edge{Target: 1, Value: NewDouble(1.5)})
+	v.AddEdge(Edge{Target: 2, Value: nil})
+	v.VoteToHalt()
+
+	e := NewEncoder()
+	v.encode(e)
+	got, err := decodeVertex(NewDecoder(e.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID() != 42 || !got.Halted() || got.NumEdges() != 2 {
+		t.Errorf("decoded vertex mismatch: %+v", got)
+	}
+	if !ValuesEqual(got.Value(), NewText("hello")) {
+		t.Error("decoded value mismatch")
+	}
+	if got.Edges()[1].Value != nil {
+		t.Error("nil edge value should survive round trip")
+	}
+	if !ValuesEqual(got.Edges()[0].Value, NewDouble(1.5)) {
+		t.Error("edge value mismatch")
+	}
+}
+
+// Property: a graph built from any set of vertex IDs reports them back
+// sorted and deduplicated, and Clone preserves the structure exactly.
+func TestGraphPropertyCloneEquivalence(t *testing.T) {
+	f := func(ids []int16) bool {
+		g := NewGraph()
+		for _, raw := range ids {
+			g.AddVertex(VertexID(raw), NewLong(int64(raw)))
+		}
+		for i := 1; i < len(ids); i++ {
+			_ = g.AddEdge(VertexID(ids[i-1]), VertexID(ids[i]), nil)
+		}
+		c := g.Clone()
+		if c.NumVertices() != g.NumVertices() || c.NumEdges() != g.NumEdges() {
+			return false
+		}
+		gids, cids := g.VertexIDs(), c.VertexIDs()
+		if len(gids) != len(cids) {
+			return false
+		}
+		for i := range gids {
+			if gids[i] != cids[i] {
+				return false
+			}
+			if g.Vertex(gids[i]).NumEdges() != c.Vertex(cids[i]).NumEdges() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,178 @@
+package pregel
+
+import (
+	"sort"
+	"sync"
+)
+
+// msgEntry is one in-flight message.
+type msgEntry struct {
+	to  VertexID
+	msg Value
+}
+
+// messageStore holds the messages sent during one superstep for
+// delivery at the next. It is sharded by destination partition: writes
+// from any worker lock only the destination shard, while reads during
+// the next superstep are done exclusively by the shard's owning worker
+// and need no locking (the superstep barrier orders them).
+type messageStore struct {
+	combiner Combiner
+	shards   []msgShard
+}
+
+type msgShard struct {
+	mu sync.Mutex
+	// Exactly one of m/c is used, depending on whether a combiner is
+	// installed.
+	m map[VertexID][]Value
+	c map[VertexID]Value
+	// n counts messages received (pre-combining), for stats.
+	n int64
+}
+
+func newMessageStore(numShards int, combiner Combiner) *messageStore {
+	s := &messageStore{combiner: combiner, shards: make([]msgShard, numShards)}
+	for i := range s.shards {
+		if combiner != nil {
+			s.shards[i].c = make(map[VertexID]Value)
+		} else {
+			s.shards[i].m = make(map[VertexID][]Value)
+		}
+	}
+	return s
+}
+
+// deliver appends a batch of messages to the destination shard.
+func (s *messageStore) deliver(shard int, entries []msgEntry) {
+	sh := &s.shards[shard]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if s.combiner != nil {
+		for _, en := range entries {
+			if cur, ok := sh.c[en.to]; ok {
+				sh.c[en.to] = s.combiner.Combine(en.to, cur, en.msg)
+			} else {
+				sh.c[en.to] = en.msg
+			}
+		}
+	} else {
+		for _, en := range entries {
+			sh.m[en.to] = append(sh.m[en.to], en.msg)
+		}
+	}
+	sh.n += int64(len(entries))
+}
+
+// take removes and returns the messages for one vertex. Only the
+// shard's owning worker may call it, after the sending superstep's
+// barrier.
+func (s *messageStore) take(shard int, id VertexID) []Value {
+	sh := &s.shards[shard]
+	if s.combiner != nil {
+		if v, ok := sh.c[id]; ok {
+			delete(sh.c, id)
+			return []Value{v}
+		}
+		return nil
+	}
+	if msgs, ok := sh.m[id]; ok {
+		delete(sh.m, id)
+		return msgs
+	}
+	return nil
+}
+
+// pendingIDs returns, in ascending order, the IDs in the shard that
+// are not in exclude. The owning worker uses it to find messages
+// addressed to vertices that do not exist yet.
+func (s *messageStore) pendingIDs(shard int, exclude map[VertexID]*Vertex) []VertexID {
+	sh := &s.shards[shard]
+	var ids []VertexID
+	if s.combiner != nil {
+		for id := range sh.c {
+			if _, ok := exclude[id]; !ok {
+				ids = append(ids, id)
+			}
+		}
+	} else {
+		for id := range sh.m {
+			if _, ok := exclude[id]; !ok {
+				ids = append(ids, id)
+			}
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// total returns the number of messages received across all shards
+// (before combining).
+func (s *messageStore) total() int64 {
+	var n int64
+	for i := range s.shards {
+		n += s.shards[i].n
+	}
+	return n
+}
+
+// encode serializes the undelivered messages of one shard, for
+// checkpoints. Entries are written in ascending vertex order.
+func (s *messageStore) encode(shard int, e *Encoder) {
+	sh := &s.shards[shard]
+	if s.combiner != nil {
+		ids := make([]VertexID, 0, len(sh.c))
+		for id := range sh.c {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		e.PutUvarint(uint64(len(ids)))
+		for _, id := range ids {
+			e.PutVarint(int64(id))
+			e.PutUvarint(1)
+			EncodeTyped(e, sh.c[id])
+		}
+		return
+	}
+	ids := make([]VertexID, 0, len(sh.m))
+	for id := range sh.m {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	e.PutUvarint(uint64(len(ids)))
+	for _, id := range ids {
+		e.PutVarint(int64(id))
+		msgs := sh.m[id]
+		e.PutUvarint(uint64(len(msgs)))
+		for _, m := range msgs {
+			EncodeTyped(e, m)
+		}
+	}
+}
+
+// decodeInto restores one shard from its encoded form.
+func (s *messageStore) decodeInto(shard int, d *Decoder) error {
+	sh := &s.shards[shard]
+	nIDs := d.Uvarint()
+	for i := uint64(0); i < nIDs && d.Err() == nil; i++ {
+		id := VertexID(d.Varint())
+		nMsgs := d.Uvarint()
+		for j := uint64(0); j < nMsgs && d.Err() == nil; j++ {
+			v, err := DecodeTyped(d)
+			if err != nil {
+				return err
+			}
+			if s.combiner != nil {
+				if cur, ok := sh.c[id]; ok {
+					sh.c[id] = s.combiner.Combine(id, cur, v)
+				} else {
+					sh.c[id] = v
+				}
+			} else {
+				sh.m[id] = append(sh.m[id], v)
+			}
+			sh.n++
+		}
+	}
+	return d.Err()
+}

@@ -1,0 +1,243 @@
+package repro
+
+import (
+	"strings"
+	"testing"
+
+	"graft/internal/algorithms"
+	"graft/internal/core"
+	"graft/internal/dfs"
+	"graft/internal/graphgen"
+	"graft/internal/pregel"
+	"graft/internal/trace"
+)
+
+// captureRun executes alg over g with Graft attached and returns the
+// loaded trace DB (the job error, if any, is returned too: the
+// exception scenarios rely on it).
+func captureRun(t *testing.T, alg *algorithms.Algorithm, g *pregel.Graph, dc core.DebugConfig) (*trace.DB, error) {
+	t.Helper()
+	store := trace.NewStore(dfs.NewMemFS(), "traces")
+	session, err := core.Attach(store, core.Options{
+		JobID: "repro-job", Algorithm: alg.Name, NumWorkers: 4,
+	}, g, dc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := pregel.Config{
+		NumWorkers:    4,
+		Listener:      session,
+		Master:        session.InstrumentMaster(alg.Master),
+		Combiner:      alg.Combiner,
+		MaxSupersteps: alg.MaxSupersteps,
+	}
+	job := pregel.NewJob(g, session.Instrument(alg.Compute), cfg)
+	for _, spec := range alg.Aggregators {
+		job.RegisterAggregator(spec.Name, spec.Agg, spec.Persistent)
+	}
+	_, runErr := job.Run()
+	db, err := store.LoadDB("repro-job")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, runErr
+}
+
+// assertFullFidelity replays every capture in the DB and requires an
+// exact match with the recorded outcome.
+func assertFullFidelity(t *testing.T, db *trace.DB, comp pregel.Computation) int {
+	t.Helper()
+	replayed := 0
+	for _, s := range db.Supersteps() {
+		for _, c := range db.CapturesAt(s) {
+			out, err := Replay(db, s, c.ID, comp)
+			if err != nil {
+				t.Fatalf("replay vertex %d superstep %d: %v", c.ID, s, err)
+			}
+			if diffs := Fidelity(c, out); len(diffs) != 0 {
+				t.Errorf("vertex %d superstep %d replay diverged: %v", c.ID, s, diffs)
+			}
+			replayed++
+		}
+	}
+	if replayed == 0 {
+		t.Fatal("nothing to replay")
+	}
+	return replayed
+}
+
+func TestReplayFidelityGraphColoring(t *testing.T) {
+	alg := algorithms.NewBuggyGraphColoring(42)
+	g := graphgen.RegularBipartite(60, 3)
+	db, err := captureRun(t, alg, g, core.DebugConfig{
+		NumRandomCaptures: 5, RandomSeed: 3, CaptureNeighbors: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := assertFullFidelity(t, db, alg.Compute)
+	t.Logf("replayed %d graph-coloring captures with full fidelity", n)
+}
+
+func TestReplayFidelityRandomWalk16(t *testing.T) {
+	alg := algorithms.NewRandomWalk16(9, 8)
+	g := graphgen.WebGraph(2000, 5, 11)
+	db, err := captureRun(t, alg, g, core.DebugConfig{
+		MessageConstraint: algorithms.NonNegativeRWMessages,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := assertFullFidelity(t, db, alg.Compute)
+	t.Logf("replayed %d random-walk captures (including overflowing ones) with full fidelity", n)
+}
+
+func TestReplayFidelityMatching(t *testing.T) {
+	alg := algorithms.NewMaximumWeightMatching(100)
+	g := graphgen.SocialGraph(80, 5, 3)
+	db, err := captureRun(t, alg, g, core.DebugConfig{
+		NumRandomCaptures: 10, RandomSeed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertFullFidelity(t, db, alg.Compute)
+}
+
+func TestReplayExceptionReproduces(t *testing.T) {
+	boom := pregel.ComputeFunc(func(ctx pregel.Context, v *pregel.Vertex, msgs []pregel.Value) error {
+		if v.ID() == 7 && ctx.Superstep() == 1 {
+			var empty []int
+			_ = empty[3] // real index-out-of-range panic
+		}
+		if ctx.Superstep() >= 2 {
+			v.VoteToHalt()
+		}
+		return nil
+	})
+	alg := &algorithms.Algorithm{Name: "boom", Compute: boom}
+	g := graphgen.RegularBipartite(20, 3)
+	db, runErr := captureRun(t, alg, g, core.DebugConfig{CaptureExceptions: true})
+	if runErr == nil {
+		t.Fatal("job should have failed")
+	}
+	out, err := Replay(db, 1, 7, boom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Err == nil {
+		t.Fatal("replay did not reproduce the panic")
+	}
+	if !strings.Contains(out.Err.Error(), "index out of range") {
+		t.Errorf("replayed error = %v", out.Err)
+	}
+	if out.PanicStack == "" {
+		t.Error("no replay stack")
+	}
+	if diffs := Fidelity(db.Capture(1, 7), out); len(diffs) != 0 {
+		t.Errorf("exception fidelity: %v", diffs)
+	}
+}
+
+func TestReplayMissingCapture(t *testing.T) {
+	alg := algorithms.NewConnectedComponents()
+	g := graphgen.RegularBipartite(10, 2)
+	db, err := captureRun(t, alg, g, core.DebugConfig{CaptureIDs: []pregel.VertexID{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Replay(db, 0, 999, alg.Compute); err == nil {
+		t.Error("expected error for uncaptured vertex")
+	}
+}
+
+func TestReplayMaster(t *testing.T) {
+	alg := algorithms.NewGraphColoring(42)
+	g := graphgen.RegularBipartite(40, 3)
+	db, err := captureRun(t, alg, g, core.DebugConfig{CaptureIDs: []pregel.VertexID{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range db.Supersteps() {
+		mc := db.MasterAt(s)
+		if mc == nil {
+			t.Fatalf("no master capture at superstep %d", s)
+		}
+		ctx, err := ReplayMaster(db, s, alg.Master)
+		if err != nil {
+			t.Fatalf("master replay at %d: %v", s, err)
+		}
+		if ctx.HaltedNow != mc.Halted {
+			t.Errorf("superstep %d: replayed halt %v, captured %v", s, ctx.HaltedNow, mc.Halted)
+		}
+		if len(ctx.Sets) != len(mc.Sets) {
+			t.Errorf("superstep %d: replayed %d sets, captured %d", s, len(ctx.Sets), len(mc.Sets))
+			continue
+		}
+		for i := range ctx.Sets {
+			if ctx.Sets[i].Name != mc.Sets[i].Name ||
+				!pregel.ValuesEqual(ctx.Sets[i].Value, mc.Sets[i].Value) {
+				t.Errorf("superstep %d set %d: %v vs %v", s, i, ctx.Sets[i], mc.Sets[i])
+			}
+		}
+	}
+}
+
+func TestFidelityDetectsDivergence(t *testing.T) {
+	// Replaying with a different seed must be flagged.
+	alg := algorithms.NewGraphColoring(42)
+	other := algorithms.NewGraphColoring(43)
+	g := graphgen.RegularBipartite(60, 3)
+	db, err := captureRun(t, alg, g, core.DebugConfig{NumRandomCaptures: 10, RandomSeed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diverged := false
+	for _, s := range db.Supersteps() {
+		for _, c := range db.CapturesAt(s) {
+			out, err := Replay(db, s, c.ID, other.Compute)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(Fidelity(c, out)) > 0 {
+				diverged = true
+			}
+		}
+	}
+	if !diverged {
+		t.Error("fidelity check never flagged a wrong-seed replay")
+	}
+}
+
+func TestMockContextPanicsOnUnknownAggregator(t *testing.T) {
+	ctx := NewMockContext(&trace.SuperstepMeta{Superstep: 1}, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ctx.GetAggregated("missing")
+}
+
+func TestMustDecodeValueRoundTrip(t *testing.T) {
+	v := pregel.NewText("hello")
+	enc := pregel.MarshalValue(v)
+	hexStr := ""
+	for _, b := range enc {
+		hexStr += string("0123456789abcdef"[b>>4]) + string("0123456789abcdef"[b&0xF])
+	}
+	got := MustDecodeValue(hexStr)
+	if !pregel.ValuesEqual(v, got) {
+		t.Fatalf("round trip: %v", got)
+	}
+}
+
+func TestMustDecodeValueBadInput(t *testing.T) {
+	for _, bad := range []string{"zz", "0", "ffff"} {
+		func() {
+			defer func() { recover() }()
+			MustDecodeValue(bad)
+			t.Errorf("MustDecodeValue(%q) did not panic", bad)
+		}()
+	}
+}

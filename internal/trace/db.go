@@ -1,0 +1,362 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"graft/internal/dfs"
+	"graft/internal/pregel"
+)
+
+// DB is an in-memory index over one job's trace files: what the Graft
+// GUI and the Context Reproducer query. Load it with Store.LoadDB.
+type DB struct {
+	Meta   JobMeta
+	Result *JobResult // nil if the job has not written job.done
+
+	metas    map[int]*SuperstepMeta
+	captures map[int]map[pregel.VertexID]*VertexCapture
+	masters  map[int]*MasterCapture
+
+	supersteps []int // sorted superstep numbers that have a meta record
+}
+
+// LoadDB reads and indexes every trace file of a job.
+func (s *Store) LoadDB(jobID string) (*DB, error) {
+	meta, err := s.ReadMeta(jobID)
+	if err != nil {
+		return nil, err
+	}
+	db := &DB{
+		Meta:     meta,
+		metas:    map[int]*SuperstepMeta{},
+		captures: map[int]map[pregel.VertexID]*VertexCapture{},
+		masters:  map[int]*MasterCapture{},
+	}
+	if res, done, err := s.ReadResult(jobID); err != nil {
+		return nil, err
+	} else if done {
+		db.Result = &res
+	}
+	dir := s.jobDir(jobID)
+	files, err := s.FS.List(dir + "/")
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range files {
+		if !strings.HasSuffix(name, ".trace") {
+			continue
+		}
+		raw, err := dfs.ReadFile(s.FS, name)
+		if err != nil {
+			return nil, err
+		}
+		r, err := NewReader(raw)
+		if err != nil {
+			return nil, fmt.Errorf("trace: %s: %w", name, err)
+		}
+		for {
+			rec, err := r.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return nil, fmt.Errorf("trace: %s: %w", name, err)
+			}
+			db.add(rec)
+		}
+	}
+	for s := range db.metas {
+		db.supersteps = append(db.supersteps, s)
+	}
+	sort.Ints(db.supersteps)
+	return db, nil
+}
+
+func (db *DB) add(rec any) {
+	switch r := rec.(type) {
+	case *SuperstepMeta:
+		db.metas[r.Superstep] = r
+	case *MasterCapture:
+		db.masters[r.Superstep] = r
+	case *VertexCapture:
+		m := db.captures[r.Superstep]
+		if m == nil {
+			m = map[pregel.VertexID]*VertexCapture{}
+			db.captures[r.Superstep] = m
+		}
+		m[r.ID] = r
+	}
+}
+
+// Supersteps returns the sorted superstep numbers that have metadata.
+func (db *DB) Supersteps() []int { return db.supersteps }
+
+// MaxSuperstep returns the largest recorded superstep, or -1 for an
+// empty trace.
+func (db *DB) MaxSuperstep() int {
+	if len(db.supersteps) == 0 {
+		return -1
+	}
+	return db.supersteps[len(db.supersteps)-1]
+}
+
+// MetaAt returns the superstep metadata, or nil.
+func (db *DB) MetaAt(superstep int) *SuperstepMeta { return db.metas[superstep] }
+
+// MasterAt returns the master capture of a superstep, or nil.
+func (db *DB) MasterAt(superstep int) *MasterCapture { return db.masters[superstep] }
+
+// Capture returns the capture of one vertex at one superstep, or nil.
+func (db *DB) Capture(superstep int, id pregel.VertexID) *VertexCapture {
+	return db.captures[superstep][id]
+}
+
+// CapturesAt returns all captures of a superstep sorted by vertex ID.
+func (db *DB) CapturesAt(superstep int) []*VertexCapture {
+	m := db.captures[superstep]
+	out := make([]*VertexCapture, 0, len(m))
+	for _, c := range m {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// CapturesOf returns every capture of one vertex across supersteps, in
+// superstep order: the data behind stepping a vertex through time in
+// the GUI.
+func (db *DB) CapturesOf(id pregel.VertexID) []*VertexCapture {
+	var out []*VertexCapture
+	for _, m := range db.captures {
+		if c, ok := m[id]; ok {
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Superstep < out[j].Superstep })
+	return out
+}
+
+// CapturedVertexIDs returns the sorted IDs of every vertex captured in
+// any superstep.
+func (db *DB) CapturedVertexIDs() []pregel.VertexID {
+	seen := map[pregel.VertexID]bool{}
+	for _, m := range db.captures {
+		for id := range m {
+			seen[id] = true
+		}
+	}
+	out := make([]pregel.VertexID, 0, len(seen))
+	for id := range seen {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// TotalCaptures returns the number of vertex capture records.
+func (db *DB) TotalCaptures() int64 {
+	var n int64
+	for _, m := range db.captures {
+		n += int64(len(m))
+	}
+	return n
+}
+
+// ViolationRow is one row of the Violations and Exceptions view.
+type ViolationRow struct {
+	Superstep int
+	VertexID  pregel.VertexID
+	// Kind is the violation kind, or "exception".
+	Kind string
+	// Detail is the offending value rendered for display, or the
+	// exception message.
+	Detail string
+	// DstID is the message recipient for message violations, else the
+	// vertex itself.
+	DstID pregel.VertexID
+	Stack string // exception stack, if any
+}
+
+// ViolationsAt returns the violations-and-exceptions rows of one
+// superstep, sorted by vertex ID.
+func (db *DB) ViolationsAt(superstep int) []ViolationRow {
+	var rows []ViolationRow
+	for _, c := range db.CapturesAt(superstep) {
+		for _, v := range c.Violations {
+			rows = append(rows, ViolationRow{
+				Superstep: superstep,
+				VertexID:  c.ID,
+				Kind:      v.Kind.String(),
+				Detail:    pregel.ValueString(v.Value),
+				DstID:     v.DstID,
+			})
+		}
+		if c.Exception != nil {
+			rows = append(rows, ViolationRow{
+				Superstep: superstep,
+				VertexID:  c.ID,
+				Kind:      "exception",
+				Detail:    c.Exception.Message,
+				DstID:     c.ID,
+				Stack:     c.Exception.Stack,
+			})
+		}
+	}
+	return rows
+}
+
+// AllViolations returns every violation row across supersteps, in
+// (superstep, vertex) order.
+func (db *DB) AllViolations() []ViolationRow {
+	var rows []ViolationRow
+	for _, s := range db.supersteps {
+		rows = append(rows, db.ViolationsAt(s)...)
+	}
+	return rows
+}
+
+// Status is the state of the GUI's M/V/E boxes for one superstep:
+// false means green (no violation), true means red.
+type Status struct {
+	MessageViolation bool // M
+	VertexViolation  bool // V
+	Exception        bool // E
+}
+
+// StatusAt computes the M/V/E status of one superstep.
+func (db *DB) StatusAt(superstep int) Status {
+	var st Status
+	for _, c := range db.captures[superstep] {
+		for _, v := range c.Violations {
+			switch v.Kind {
+			case MessageViolation, IncomingMessageViolation:
+				st.MessageViolation = true
+			case VertexValueViolation:
+				st.VertexViolation = true
+			}
+		}
+		if c.Exception != nil {
+			st.Exception = true
+		}
+	}
+	return st
+}
+
+// PairViolation reports two adjacent captured vertices whose contexts
+// jointly violate a pairwise predicate in the same superstep — the
+// "no two adjacent vertices should be assigned the same color" class
+// of constraint the paper lists as future work (§7). It is evaluated
+// post hoc over the trace, where both contexts are available.
+type PairViolation struct {
+	Superstep int
+	A, B      *VertexCapture
+}
+
+// CheckAdjacentPairs evaluates ok over every ordered-once pair of
+// captured vertices (a, b) where a has an edge to b and both were
+// captured in the same superstep, returning the violating pairs. Use
+// CaptureAllActive (or by-ID with neighbors) to make the check
+// complete over the region of interest.
+func (db *DB) CheckAdjacentPairs(ok func(a, b *VertexCapture) bool) []PairViolation {
+	var out []PairViolation
+	for _, s := range db.supersteps {
+		m := db.captures[s]
+		for _, a := range db.CapturesAt(s) {
+			for _, e := range a.Edges {
+				if e.Target <= a.ID {
+					continue // each undirected pair once
+				}
+				b, captured := m[e.Target]
+				if !captured {
+					continue
+				}
+				if !ok(a, b) {
+					out = append(out, PairViolation{Superstep: s, A: a, B: b})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Query selects captures for the Tabular view's search box. Zero
+// fields match everything; set fields are ANDed.
+type Query struct {
+	// Superstep restricts to one superstep when >= 0. Use -1 for all.
+	Superstep int
+	// VertexID matches one vertex exactly when non-nil.
+	VertexID *pregel.VertexID
+	// NeighborID matches vertices with an out-edge to this ID.
+	NeighborID *pregel.VertexID
+	// ValueContains substring-matches the display form of the vertex
+	// value (before or after).
+	ValueContains string
+	// MessageContains substring-matches any incoming or outgoing
+	// message's display form.
+	MessageContains string
+}
+
+// Search returns matching captures ordered by (superstep, vertex ID).
+func (db *DB) Search(q Query) []*VertexCapture {
+	var out []*VertexCapture
+	steps := db.supersteps
+	if q.Superstep >= 0 {
+		steps = []int{q.Superstep}
+	}
+	for _, s := range steps {
+		for _, c := range db.CapturesAt(s) {
+			if q.matches(c) {
+				out = append(out, c)
+			}
+		}
+	}
+	return out
+}
+
+func (q Query) matches(c *VertexCapture) bool {
+	if q.VertexID != nil && c.ID != *q.VertexID {
+		return false
+	}
+	if q.NeighborID != nil {
+		found := false
+		for _, e := range c.Edges {
+			if e.Target == *q.NeighborID {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	if q.ValueContains != "" {
+		if !strings.Contains(pregel.ValueString(c.ValueBefore), q.ValueContains) &&
+			!strings.Contains(pregel.ValueString(c.ValueAfter), q.ValueContains) {
+			return false
+		}
+	}
+	if q.MessageContains != "" {
+		found := false
+		for _, m := range c.Incoming {
+			if strings.Contains(pregel.ValueString(m), q.MessageContains) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			for _, m := range c.Outgoing {
+				if strings.Contains(pregel.ValueString(m.Value), q.MessageContains) {
+					found = true
+					break
+				}
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,347 @@
+package trace
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"graft/internal/pregel"
+)
+
+// Trace files are a magic header followed by framed records:
+// uvarint(length) ++ payload, where the payload's first byte is the
+// record kind.
+const fileMagic = "GRFTTRC1"
+
+type recordKind uint8
+
+const (
+	kindSuperstepMeta recordKind = 1
+	kindVertexCapture recordKind = 2
+	kindMasterCapture recordKind = 3
+)
+
+// ErrBadMagic is returned when a trace file does not start with the
+// expected header.
+var ErrBadMagic = errors.New("trace: bad file magic")
+
+// Writer writes framed records to an underlying file. It is not safe
+// for concurrent use; Graft gives each worker its own Writer.
+type Writer struct {
+	wc  io.WriteCloser
+	bw  *bufio.Writer
+	e   *pregel.Encoder
+	hdr *pregel.Encoder
+}
+
+// NewWriter wraps wc, writing the file header immediately.
+func NewWriter(wc io.WriteCloser) (*Writer, error) {
+	w := &Writer{wc: wc, bw: bufio.NewWriter(wc), e: pregel.NewEncoder(), hdr: pregel.NewEncoder()}
+	if _, err := w.bw.WriteString(fileMagic); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+func (w *Writer) frame() error {
+	w.hdr.Reset()
+	w.hdr.PutUvarint(uint64(w.e.Len()))
+	if _, err := w.bw.Write(w.hdr.Bytes()); err != nil {
+		return err
+	}
+	_, err := w.bw.Write(w.e.Bytes())
+	return err
+}
+
+// WriteVertexCapture appends one vertex capture record.
+func (w *Writer) WriteVertexCapture(c *VertexCapture) error {
+	e := w.e
+	e.Reset()
+	e.PutUvarint(uint64(kindVertexCapture))
+	e.PutUvarint(uint64(c.Superstep))
+	e.PutUvarint(uint64(c.Worker))
+	e.PutVarint(int64(c.ID))
+	e.PutUvarint(uint64(c.Reasons))
+	pregel.EncodeTyped(e, c.ValueBefore)
+	pregel.EncodeTyped(e, c.ValueAfter)
+	e.PutBool(c.EdgesPreCompute)
+	e.PutUvarint(uint64(len(c.Edges)))
+	for _, ed := range c.Edges {
+		e.PutVarint(int64(ed.Target))
+		pregel.EncodeTyped(e, ed.Value)
+	}
+	e.PutUvarint(uint64(len(c.Incoming)))
+	for _, m := range c.Incoming {
+		pregel.EncodeTyped(e, m)
+	}
+	e.PutUvarint(uint64(len(c.Outgoing)))
+	for _, m := range c.Outgoing {
+		e.PutVarint(int64(m.To))
+		pregel.EncodeTyped(e, m.Value)
+	}
+	e.PutBool(c.HaltedAfter)
+	e.PutUvarint(uint64(len(c.Violations)))
+	for _, v := range c.Violations {
+		e.PutUvarint(uint64(v.Kind))
+		e.PutVarint(int64(v.SrcID))
+		e.PutVarint(int64(v.DstID))
+		pregel.EncodeTyped(e, v.Value)
+	}
+	encodeException(e, c.Exception)
+	return w.frame()
+}
+
+// WriteMasterCapture appends one master capture record.
+func (w *Writer) WriteMasterCapture(c *MasterCapture) error {
+	e := w.e
+	e.Reset()
+	e.PutUvarint(uint64(kindMasterCapture))
+	e.PutUvarint(uint64(c.Superstep))
+	e.PutVarint(c.NumVertices)
+	e.PutVarint(c.NumEdges)
+	encodeAggMap(e, c.AggregatedBefore)
+	encodeAggMap(e, c.AggregatedAfter)
+	e.PutUvarint(uint64(len(c.Sets)))
+	for _, s := range c.Sets {
+		e.PutString(s.Name)
+		pregel.EncodeTyped(e, s.Value)
+	}
+	e.PutBool(c.Halted)
+	encodeException(e, c.Exception)
+	return w.frame()
+}
+
+// WriteSuperstepMeta appends one superstep metadata record.
+func (w *Writer) WriteSuperstepMeta(m *SuperstepMeta) error {
+	e := w.e
+	e.Reset()
+	e.PutUvarint(uint64(kindSuperstepMeta))
+	e.PutUvarint(uint64(m.Superstep))
+	e.PutVarint(m.NumVertices)
+	e.PutVarint(m.NumEdges)
+	encodeAggMap(e, m.Aggregated)
+	return w.frame()
+}
+
+// Close flushes buffered records and closes the file, committing it.
+func (w *Writer) Close() error {
+	if err := w.bw.Flush(); err != nil {
+		w.wc.Close()
+		return err
+	}
+	return w.wc.Close()
+}
+
+func encodeException(e *pregel.Encoder, ex *ExceptionInfo) {
+	if ex == nil {
+		e.PutBool(false)
+		return
+	}
+	e.PutBool(true)
+	e.PutString(ex.Message)
+	e.PutString(ex.Stack)
+}
+
+func decodeException(d *pregel.Decoder) (*ExceptionInfo, error) {
+	if !d.Bool() {
+		return nil, d.Err()
+	}
+	ex := &ExceptionInfo{Message: d.String(), Stack: d.String()}
+	return ex, d.Err()
+}
+
+func encodeAggMap(e *pregel.Encoder, m map[string]pregel.Value) {
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names) // deterministic bytes
+	e.PutUvarint(uint64(len(names)))
+	for _, name := range names {
+		e.PutString(name)
+		pregel.EncodeTyped(e, m[name])
+	}
+}
+
+func decodeAggMap(d *pregel.Decoder) (map[string]pregel.Value, error) {
+	n := d.Uvarint()
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	m := make(map[string]pregel.Value, n)
+	for i := uint64(0); i < n; i++ {
+		name := d.String()
+		v, err := pregel.DecodeTyped(d)
+		if err != nil {
+			return nil, err
+		}
+		m[name] = v
+	}
+	return m, d.Err()
+}
+
+// Reader iterates the records of one trace file.
+type Reader struct {
+	data []byte
+	off  int
+}
+
+// NewReader validates the header of data and positions at the first
+// record.
+func NewReader(data []byte) (*Reader, error) {
+	if len(data) < len(fileMagic) || string(data[:len(fileMagic)]) != fileMagic {
+		return nil, ErrBadMagic
+	}
+	return &Reader{data: data, off: len(fileMagic)}, nil
+}
+
+// Next returns the next record: a *VertexCapture, *MasterCapture or
+// *SuperstepMeta. It returns io.EOF after the last record.
+func (r *Reader) Next() (any, error) {
+	if r.off >= len(r.data) {
+		return nil, io.EOF
+	}
+	d := pregel.NewDecoder(r.data[r.off:])
+	payload := d.Bytes()
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	r.off = len(r.data) - d.Remaining()
+	pd := pregel.NewDecoder(payload)
+	kind := recordKind(pd.Uvarint())
+	switch kind {
+	case kindVertexCapture:
+		return decodeVertexCapture(pd)
+	case kindMasterCapture:
+		return decodeMasterCapture(pd)
+	case kindSuperstepMeta:
+		return decodeSuperstepMeta(pd)
+	}
+	if pd.Err() != nil {
+		return nil, pd.Err()
+	}
+	return nil, fmt.Errorf("trace: unknown record kind %d", kind)
+}
+
+func decodeVertexCapture(d *pregel.Decoder) (*VertexCapture, error) {
+	c := &VertexCapture{}
+	c.Superstep = int(d.Uvarint())
+	c.Worker = int(d.Uvarint())
+	c.ID = pregel.VertexID(d.Varint())
+	c.Reasons = Reason(d.Uvarint())
+	var err error
+	if c.ValueBefore, err = pregel.DecodeTyped(d); err != nil {
+		return nil, err
+	}
+	if c.ValueAfter, err = pregel.DecodeTyped(d); err != nil {
+		return nil, err
+	}
+	c.EdgesPreCompute = d.Bool()
+	nEdges := d.Uvarint()
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	c.Edges = make([]pregel.Edge, 0, nEdges)
+	for i := uint64(0); i < nEdges; i++ {
+		target := pregel.VertexID(d.Varint())
+		v, err := pregel.DecodeTyped(d)
+		if err != nil {
+			return nil, err
+		}
+		c.Edges = append(c.Edges, pregel.Edge{Target: target, Value: v})
+	}
+	nIn := d.Uvarint()
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	c.Incoming = make([]pregel.Value, 0, nIn)
+	for i := uint64(0); i < nIn; i++ {
+		v, err := pregel.DecodeTyped(d)
+		if err != nil {
+			return nil, err
+		}
+		c.Incoming = append(c.Incoming, v)
+	}
+	nOut := d.Uvarint()
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	c.Outgoing = make([]OutMsg, 0, nOut)
+	for i := uint64(0); i < nOut; i++ {
+		to := pregel.VertexID(d.Varint())
+		v, err := pregel.DecodeTyped(d)
+		if err != nil {
+			return nil, err
+		}
+		c.Outgoing = append(c.Outgoing, OutMsg{To: to, Value: v})
+	}
+	c.HaltedAfter = d.Bool()
+	nViol := d.Uvarint()
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	c.Violations = make([]Violation, 0, nViol)
+	for i := uint64(0); i < nViol; i++ {
+		viol := Violation{
+			Kind:  ViolationKind(d.Uvarint()),
+			SrcID: pregel.VertexID(d.Varint()),
+			DstID: pregel.VertexID(d.Varint()),
+		}
+		v, err := pregel.DecodeTyped(d)
+		if err != nil {
+			return nil, err
+		}
+		viol.Value = v
+		c.Violations = append(c.Violations, viol)
+	}
+	if c.Exception, err = decodeException(d); err != nil {
+		return nil, err
+	}
+	return c, d.Err()
+}
+
+func decodeMasterCapture(d *pregel.Decoder) (*MasterCapture, error) {
+	c := &MasterCapture{}
+	c.Superstep = int(d.Uvarint())
+	c.NumVertices = d.Varint()
+	c.NumEdges = d.Varint()
+	var err error
+	if c.AggregatedBefore, err = decodeAggMap(d); err != nil {
+		return nil, err
+	}
+	if c.AggregatedAfter, err = decodeAggMap(d); err != nil {
+		return nil, err
+	}
+	nSets := d.Uvarint()
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	c.Sets = make([]AggSet, 0, nSets)
+	for i := uint64(0); i < nSets; i++ {
+		name := d.String()
+		v, err := pregel.DecodeTyped(d)
+		if err != nil {
+			return nil, err
+		}
+		c.Sets = append(c.Sets, AggSet{Name: name, Value: v})
+	}
+	c.Halted = d.Bool()
+	if c.Exception, err = decodeException(d); err != nil {
+		return nil, err
+	}
+	return c, d.Err()
+}
+
+func decodeSuperstepMeta(d *pregel.Decoder) (*SuperstepMeta, error) {
+	m := &SuperstepMeta{}
+	m.Superstep = int(d.Uvarint())
+	m.NumVertices = d.Varint()
+	m.NumEdges = d.Varint()
+	var err error
+	if m.Aggregated, err = decodeAggMap(d); err != nil {
+		return nil, err
+	}
+	return m, d.Err()
+}

@@ -1,0 +1,191 @@
+package trace
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"graft/internal/dfs"
+)
+
+// Store lays traces out in a file system the way Graft lays them out
+// in HDFS:
+//
+//	<root>/<jobID>/job.meta        JSON manifest
+//	<root>/<jobID>/worker_NN.trace per-worker vertex captures
+//	<root>/<jobID>/master.trace    superstep metas + master captures
+//	<root>/<jobID>/job.done        JSON result, written at job end
+type Store struct {
+	FS   dfs.FileSystem
+	Root string
+}
+
+// NewStore returns a store rooted at root within fs.
+func NewStore(fs dfs.FileSystem, root string) *Store {
+	return &Store{FS: fs, Root: strings.TrimSuffix(root, "/")}
+}
+
+func (s *Store) jobDir(jobID string) string {
+	if s.Root == "" {
+		return jobID
+	}
+	return s.Root + "/" + jobID
+}
+
+// ListJobs returns the IDs of all jobs with a manifest, sorted.
+func (s *Store) ListJobs() ([]string, error) {
+	prefix := ""
+	if s.Root != "" {
+		prefix = s.Root + "/"
+	}
+	names, err := s.FS.List(prefix)
+	if err != nil {
+		return nil, err
+	}
+	var jobs []string
+	seen := map[string]bool{}
+	for _, name := range names {
+		rel := strings.TrimPrefix(name, prefix)
+		parts := strings.SplitN(rel, "/", 2)
+		if len(parts) != 2 || parts[1] != "job.meta" || seen[parts[0]] {
+			continue
+		}
+		seen[parts[0]] = true
+		jobs = append(jobs, parts[0])
+	}
+	sort.Strings(jobs)
+	return jobs, nil
+}
+
+// JobWriter owns the open trace files of one instrumented job. Each
+// worker writer is used only by its worker goroutine; the master
+// writer only by the engine coordinator (listener callbacks).
+type JobWriter struct {
+	store   *Store
+	jobID   string
+	workers []*Writer
+	master  *Writer
+	closed  bool
+}
+
+// NewJobWriter writes the manifest and opens all trace files.
+func (s *Store) NewJobWriter(meta JobMeta) (*JobWriter, error) {
+	if meta.JobID == "" {
+		return nil, fmt.Errorf("trace: empty job ID")
+	}
+	if meta.NumWorkers <= 0 {
+		return nil, fmt.Errorf("trace: job %q has %d workers", meta.JobID, meta.NumWorkers)
+	}
+	dir := s.jobDir(meta.JobID)
+	metaJSON, err := json.MarshalIndent(meta, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	if err := dfs.WriteFile(s.FS, dir+"/job.meta", metaJSON); err != nil {
+		return nil, err
+	}
+	jw := &JobWriter{store: s, jobID: meta.JobID}
+	fail := func(err error) (*JobWriter, error) {
+		jw.closeAll()
+		return nil, err
+	}
+	for i := 0; i < meta.NumWorkers; i++ {
+		f, err := s.FS.Create(fmt.Sprintf("%s/worker_%02d.trace", dir, i))
+		if err != nil {
+			return fail(err)
+		}
+		w, err := NewWriter(f)
+		if err != nil {
+			return fail(err)
+		}
+		jw.workers = append(jw.workers, w)
+	}
+	f, err := s.FS.Create(dir + "/master.trace")
+	if err != nil {
+		return fail(err)
+	}
+	if jw.master, err = NewWriter(f); err != nil {
+		return fail(err)
+	}
+	return jw, nil
+}
+
+// Worker returns the trace writer for one worker.
+func (jw *JobWriter) Worker(i int) *Writer { return jw.workers[i] }
+
+// Master returns the master/meta trace writer.
+func (jw *JobWriter) Master() *Writer { return jw.master }
+
+func (jw *JobWriter) closeAll() error {
+	var first error
+	for _, w := range jw.workers {
+		if w != nil {
+			if err := w.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	if jw.master != nil {
+		if err := jw.master.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Finish closes every trace file and writes the job result.
+func (jw *JobWriter) Finish(res JobResult) error {
+	if jw.closed {
+		return nil
+	}
+	jw.closed = true
+	if err := jw.closeAll(); err != nil {
+		return err
+	}
+	resJSON, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	return dfs.WriteFile(jw.store.FS, jw.store.jobDir(jw.jobID)+"/job.done", resJSON)
+}
+
+// ReadMeta loads a job's manifest.
+func (s *Store) ReadMeta(jobID string) (JobMeta, error) {
+	var meta JobMeta
+	raw, err := dfs.ReadFile(s.FS, s.jobDir(jobID)+"/job.meta")
+	if err != nil {
+		return meta, fmt.Errorf("trace: job %q: %w", jobID, err)
+	}
+	err = json.Unmarshal(raw, &meta)
+	return meta, err
+}
+
+// ReadResult loads a job's result, reporting done=false if the job has
+// not finished.
+func (s *Store) ReadResult(jobID string) (res JobResult, done bool, err error) {
+	raw, err := dfs.ReadFile(s.FS, s.jobDir(jobID)+"/job.done")
+	if errors.Is(err, dfs.ErrNotExist) {
+		return res, false, nil
+	}
+	if err != nil {
+		return res, false, err
+	}
+	err = json.Unmarshal(raw, &res)
+	return res, err == nil, err
+}
+
+// RemoveJob deletes every file of a job.
+func (s *Store) RemoveJob(jobID string) error {
+	names, err := s.FS.List(s.jobDir(jobID) + "/")
+	if err != nil {
+		return err
+	}
+	for _, name := range names {
+		if err := s.FS.Remove(name); err != nil {
+			return err
+		}
+	}
+	return nil
+}

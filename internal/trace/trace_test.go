@@ -1,0 +1,457 @@
+package trace
+
+import (
+	"errors"
+	"io"
+	"testing"
+
+	"graft/internal/dfs"
+	"graft/internal/pregel"
+)
+
+func sampleVertexCapture() *VertexCapture {
+	return &VertexCapture{
+		Superstep:   41,
+		Worker:      2,
+		ID:          672,
+		Reasons:     ReasonByID | ReasonMessageConstraint,
+		ValueBefore: pregel.NewText("TENTATIVELY_IN_SET"),
+		ValueAfter:  pregel.NewText("IN_SET"),
+		Edges: []pregel.Edge{
+			{Target: 671},
+			{Target: 673, Value: pregel.NewDouble(1.5)},
+		},
+		EdgesPreCompute: true,
+		Incoming:        []pregel.Value{pregel.NewLong(671), pregel.NewLong(673)},
+		Outgoing: []OutMsg{
+			{To: 671, Value: pregel.NewShort(-3)},
+		},
+		HaltedAfter: true,
+		Violations: []Violation{
+			{Kind: MessageViolation, SrcID: 672, DstID: 671, Value: pregel.NewShort(-3)},
+		},
+		Exception: &ExceptionInfo{Message: "boom", Stack: "stack trace here"},
+	}
+}
+
+func sampleMasterCapture() *MasterCapture {
+	return &MasterCapture{
+		Superstep:   41,
+		NumVertices: 1_000_000_000,
+		NumEdges:    3_000_000_000,
+		AggregatedBefore: map[string]pregel.Value{
+			"phase": pregel.NewText("SELECTION"),
+		},
+		AggregatedAfter: map[string]pregel.Value{
+			"phase": pregel.NewText("CONFLICT-RESOLUTION"),
+		},
+		Sets:   []AggSet{{Name: "phase", Value: pregel.NewText("CONFLICT-RESOLUTION")}},
+		Halted: false,
+	}
+}
+
+func sampleMeta() *SuperstepMeta {
+	return &SuperstepMeta{
+		Superstep:   41,
+		NumVertices: 10,
+		NumEdges:    20,
+		Aggregated: map[string]pregel.Value{
+			"phase": pregel.NewText("CONFLICT-RESOLUTION"),
+			"count": pregel.NewLong(7),
+		},
+	}
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	fs := dfs.NewMemFS()
+	f, err := fs.Create("f.trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWriter(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteSuperstepMeta(sampleMeta()); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteVertexCapture(sampleVertexCapture()); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteMasterCapture(sampleMasterCapture()); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := dfs.ReadFile(fs, "f.trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rec1, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta := rec1.(*SuperstepMeta)
+	if meta.Superstep != 41 || meta.NumVertices != 10 || meta.NumEdges != 20 {
+		t.Errorf("meta = %+v", meta)
+	}
+	if !pregel.ValuesEqual(meta.Aggregated["count"], pregel.NewLong(7)) {
+		t.Error("meta aggregated mismatch")
+	}
+
+	rec2, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vc := rec2.(*VertexCapture)
+	want := sampleVertexCapture()
+	if vc.Superstep != want.Superstep || vc.Worker != want.Worker || vc.ID != want.ID {
+		t.Errorf("identity fields: %+v", vc)
+	}
+	if vc.Reasons != want.Reasons {
+		t.Errorf("reasons = %v", vc.Reasons)
+	}
+	if !pregel.ValuesEqual(vc.ValueBefore, want.ValueBefore) ||
+		!pregel.ValuesEqual(vc.ValueAfter, want.ValueAfter) {
+		t.Error("values mismatch")
+	}
+	if len(vc.Edges) != 2 || vc.Edges[0].Value != nil ||
+		!pregel.ValuesEqual(vc.Edges[1].Value, pregel.NewDouble(1.5)) {
+		t.Errorf("edges = %+v", vc.Edges)
+	}
+	if !vc.EdgesPreCompute || !vc.HaltedAfter {
+		t.Error("flags lost")
+	}
+	if len(vc.Incoming) != 2 || len(vc.Outgoing) != 1 {
+		t.Error("message lists lost")
+	}
+	if len(vc.Violations) != 1 || vc.Violations[0].DstID != 671 {
+		t.Errorf("violations = %+v", vc.Violations)
+	}
+	if vc.Exception == nil || vc.Exception.Message != "boom" || vc.Exception.Stack == "" {
+		t.Errorf("exception = %+v", vc.Exception)
+	}
+
+	rec3, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc := rec3.(*MasterCapture)
+	if mc.NumVertices != 1_000_000_000 {
+		t.Errorf("master numV = %d", mc.NumVertices)
+	}
+	if got := mc.AggregatedBefore["phase"].(*pregel.TextValue).Get(); got != "SELECTION" {
+		t.Errorf("before phase = %q", got)
+	}
+	if len(mc.Sets) != 1 || mc.Sets[0].Name != "phase" {
+		t.Errorf("sets = %+v", mc.Sets)
+	}
+
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+}
+
+func TestReaderRejectsBadMagic(t *testing.T) {
+	if _, err := NewReader([]byte("NOTATRACE")); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := NewReader([]byte("GR")); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("short file err = %v", err)
+	}
+}
+
+func TestReaderRejectsCorruptRecord(t *testing.T) {
+	fs := dfs.NewMemFS()
+	f, _ := fs.Create("f.trace")
+	w, _ := NewWriter(f)
+	if err := w.WriteSuperstepMeta(sampleMeta()); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := dfs.ReadFile(fs, "f.trace")
+	raw = raw[:len(raw)-3] // truncate mid-record
+	r, err := NewReader(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err == nil || err == io.EOF {
+		t.Fatalf("expected corrupt error, got %v", err)
+	}
+}
+
+func TestStoreLayoutAndDB(t *testing.T) {
+	fs := dfs.NewMemFS()
+	store := NewStore(fs, "graft/traces")
+	jw, err := store.NewJobWriter(JobMeta{
+		JobID: "job1", Algorithm: "gc", NumWorkers: 2, NumVertices: 4, NumEdges: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta := sampleMeta()
+	meta.Superstep = 0
+	if err := jw.Master().WriteSuperstepMeta(meta); err != nil {
+		t.Fatal(err)
+	}
+	c1 := sampleVertexCapture()
+	c1.Superstep, c1.ID, c1.Worker = 0, 1, 0
+	c2 := sampleVertexCapture()
+	c2.Superstep, c2.ID, c2.Worker = 0, 2, 1
+	c2.Exception = nil
+	c2.Violations = nil
+	if err := jw.Worker(0).WriteVertexCapture(c1); err != nil {
+		t.Fatal(err)
+	}
+	if err := jw.Worker(1).WriteVertexCapture(c2); err != nil {
+		t.Fatal(err)
+	}
+	if err := jw.Finish(JobResult{Supersteps: 1, Reason: "converged", Captures: 2}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Layout check.
+	names, _ := fs.List("graft/traces/job1/")
+	wantFiles := []string{
+		"graft/traces/job1/job.done",
+		"graft/traces/job1/job.meta",
+		"graft/traces/job1/master.trace",
+		"graft/traces/job1/worker_00.trace",
+		"graft/traces/job1/worker_01.trace",
+	}
+	if len(names) != len(wantFiles) {
+		t.Fatalf("files = %v", names)
+	}
+	for i := range names {
+		if names[i] != wantFiles[i] {
+			t.Errorf("file %d = %q, want %q", i, names[i], wantFiles[i])
+		}
+	}
+
+	jobs, err := store.ListJobs()
+	if err != nil || len(jobs) != 1 || jobs[0] != "job1" {
+		t.Fatalf("jobs = %v, %v", jobs, err)
+	}
+
+	db, err := store.LoadDB("job1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Meta.Algorithm != "gc" || db.Meta.NumWorkers != 2 {
+		t.Errorf("meta = %+v", db.Meta)
+	}
+	if db.Result == nil || db.Result.Captures != 2 {
+		t.Errorf("result = %+v", db.Result)
+	}
+	if db.TotalCaptures() != 2 {
+		t.Errorf("captures = %d", db.TotalCaptures())
+	}
+	caps := db.CapturesAt(0)
+	if len(caps) != 2 || caps[0].ID != 1 || caps[1].ID != 2 {
+		t.Errorf("captures at 0 = %+v", caps)
+	}
+	if got := db.CapturesOf(1); len(got) != 1 {
+		t.Errorf("CapturesOf(1) = %d", len(got))
+	}
+	if db.MaxSuperstep() != 0 {
+		t.Errorf("max superstep = %d", db.MaxSuperstep())
+	}
+	st := db.StatusAt(0)
+	if !st.MessageViolation || !st.Exception || st.VertexViolation {
+		t.Errorf("status = %+v", st)
+	}
+
+	if err := store.RemoveJob("job1"); err != nil {
+		t.Fatal(err)
+	}
+	if jobs, _ := store.ListJobs(); len(jobs) != 0 {
+		t.Errorf("jobs after remove = %v", jobs)
+	}
+}
+
+func TestJobWriterValidation(t *testing.T) {
+	store := NewStore(dfs.NewMemFS(), "t")
+	if _, err := store.NewJobWriter(JobMeta{JobID: "", NumWorkers: 1}); err == nil {
+		t.Error("empty job ID accepted")
+	}
+	if _, err := store.NewJobWriter(JobMeta{JobID: "x", NumWorkers: 0}); err == nil {
+		t.Error("zero workers accepted")
+	}
+}
+
+func TestReadResultUnfinished(t *testing.T) {
+	store := NewStore(dfs.NewMemFS(), "t")
+	if _, err := store.NewJobWriter(JobMeta{JobID: "x", NumWorkers: 1}); err != nil {
+		t.Fatal(err)
+	}
+	_, done, err := store.ReadResult("x")
+	if err != nil || done {
+		t.Fatalf("unfinished job: done=%v err=%v", done, err)
+	}
+}
+
+func TestSearchQueries(t *testing.T) {
+	fs := dfs.NewMemFS()
+	store := NewStore(fs, "t")
+	jw, err := store.NewJobWriter(JobMeta{JobID: "q", Algorithm: "x", NumWorkers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(superstep int, id pregel.VertexID, val string, edgeTo pregel.VertexID, outVal string) *VertexCapture {
+		return &VertexCapture{
+			Superstep:  superstep,
+			ID:         id,
+			ValueAfter: pregel.NewText(val),
+			Edges:      []pregel.Edge{{Target: edgeTo}},
+			Outgoing:   []OutMsg{{To: edgeTo, Value: pregel.NewText(outVal)}},
+		}
+	}
+	for s := 0; s < 2; s++ {
+		if err := jw.Master().WriteSuperstepMeta(&SuperstepMeta{Superstep: s}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := jw.Worker(0).WriteVertexCapture(mk(0, 1, "RED", 2, "hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := jw.Worker(0).WriteVertexCapture(mk(0, 2, "BLUE", 3, "world")); err != nil {
+		t.Fatal(err)
+	}
+	if err := jw.Worker(0).WriteVertexCapture(mk(1, 1, "GREEN", 2, "hello again")); err != nil {
+		t.Fatal(err)
+	}
+	if err := jw.Finish(JobResult{}); err != nil {
+		t.Fatal(err)
+	}
+	db, err := store.LoadDB("q")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	id1 := pregel.VertexID(1)
+	nbr2 := pregel.VertexID(2)
+	cases := []struct {
+		name string
+		q    Query
+		want int
+	}{
+		{"all", Query{Superstep: -1}, 3},
+		{"superstep 0", Query{Superstep: 0}, 2},
+		{"by vertex", Query{Superstep: -1, VertexID: &id1}, 2},
+		{"by neighbor", Query{Superstep: -1, NeighborID: &nbr2}, 2},
+		{"by value", Query{Superstep: -1, ValueContains: "BLUE"}, 1},
+		{"by message", Query{Superstep: -1, MessageContains: "hello"}, 2},
+		{"combined", Query{Superstep: 1, VertexID: &id1, MessageContains: "again"}, 1},
+		{"no match", Query{Superstep: -1, ValueContains: "PURPLE"}, 0},
+	}
+	for _, c := range cases {
+		if got := len(db.Search(c.q)); got != c.want {
+			t.Errorf("%s: got %d matches, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+func TestLoadDBRejectsCorruptTraceFile(t *testing.T) {
+	fs := dfs.NewMemFS()
+	store := NewStore(fs, "t")
+	jw, err := store.NewJobWriter(JobMeta{JobID: "bad", Algorithm: "x", NumWorkers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := jw.Worker(0).WriteVertexCapture(sampleVertexCapture()); err != nil {
+		t.Fatal(err)
+	}
+	if err := jw.Finish(JobResult{}); err != nil {
+		t.Fatal(err)
+	}
+	// Truncate the worker trace mid-record.
+	raw, err := dfs.ReadFile(fs, "t/bad/worker_00.trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dfs.WriteFile(fs, "t/bad/worker_00.trace", raw[:len(raw)-5]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.LoadDB("bad"); err == nil {
+		t.Fatal("corrupt trace accepted")
+	}
+	// And a file that is not a trace at all.
+	if err := dfs.WriteFile(fs, "t/bad/worker_00.trace", []byte("garbage")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.LoadDB("bad"); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("err = %v, want bad magic", err)
+	}
+}
+
+func TestLoadDBMissingJob(t *testing.T) {
+	store := NewStore(dfs.NewMemFS(), "t")
+	if _, err := store.LoadDB("ghost"); err == nil {
+		t.Fatal("missing job accepted")
+	}
+}
+
+func TestCheckAdjacentPairsDirect(t *testing.T) {
+	fs := dfs.NewMemFS()
+	store := NewStore(fs, "t")
+	jw, err := store.NewJobWriter(JobMeta{JobID: "pairs", Algorithm: "x", NumWorkers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := jw.Master().WriteSuperstepMeta(&SuperstepMeta{Superstep: 0}); err != nil {
+		t.Fatal(err)
+	}
+	mk := func(id pregel.VertexID, color int64, edges ...pregel.VertexID) *VertexCapture {
+		c := &VertexCapture{Superstep: 0, ID: id, ValueAfter: pregel.NewLong(color)}
+		for _, e := range edges {
+			c.Edges = append(c.Edges, pregel.Edge{Target: e})
+		}
+		return c
+	}
+	// 1-2 same color (violation), 2-3 different (ok), 1-9 where 9 is
+	// uncaptured (skipped).
+	for _, c := range []*VertexCapture{
+		mk(1, 5, 2, 9),
+		mk(2, 5, 1, 3),
+		mk(3, 6, 2),
+	} {
+		if err := jw.Worker(0).WriteVertexCapture(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := jw.Finish(JobResult{}); err != nil {
+		t.Fatal(err)
+	}
+	db, err := store.LoadDB("pairs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := db.CheckAdjacentPairs(func(a, b *VertexCapture) bool {
+		return !pregel.ValuesEqual(a.ValueAfter, b.ValueAfter)
+	})
+	if len(got) != 1 || got[0].A.ID != 1 || got[0].B.ID != 2 {
+		t.Fatalf("pairs = %+v", got)
+	}
+}
+
+func TestReasonString(t *testing.T) {
+	r := ReasonByID | ReasonException
+	if got := r.String(); got != "by-id+exception" {
+		t.Errorf("Reason string = %q", got)
+	}
+	if Reason(0).String() != "none" {
+		t.Error("zero reason string")
+	}
+	if !r.Has(ReasonByID) || r.Has(ReasonRandom) {
+		t.Error("Has wrong")
+	}
+}
