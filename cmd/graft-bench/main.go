@@ -1,10 +1,13 @@
 // Command graft-bench regenerates the paper's evaluation artifacts:
-// Tables 1-3 and the Figure 8 overhead experiment.
+// Tables 1-3 and the Figure 8 overhead experiment, plus a chaos sweep
+// that reruns the workloads under deterministic storage-fault
+// injection.
 //
 //	graft-bench -table 1
 //	graft-bench -table 2
 //	graft-bench -table 3
 //	graft-bench -fig 8 -scale 0.0005 -reps 5 -workers 8
+//	graft-bench -chaos -scale 0.0005 -workers 8 -seed 42
 package main
 
 import (
@@ -20,6 +23,8 @@ import (
 func main() {
 	table := flag.Int("table", 0, "print a paper table (1, 2 or 3)")
 	fig := flag.Int("fig", 0, "run a paper figure (8, alias 7)")
+	chaos := flag.Bool("chaos", false, "run the workloads under deterministic storage-fault injection")
+	faultP := flag.Float64("fault-p", 0.3, "per-operation fault probability for -chaos")
 	scale := flag.Float64("scale", 0.0002, "dataset scale against paper sizes")
 	reps := flag.Int("reps", 5, "repetitions per cell (the paper used 5)")
 	workers := flag.Int("workers", 8, "worker goroutines per job")
@@ -60,6 +65,24 @@ func main() {
 				}
 			}
 		}
+	case *chaos:
+		workloads := harness.StandardWorkloads(*scale, *seed, *workers)
+		fmt.Printf("Chaos sweep: workloads under seeded storage faults (scale %g, %d workers, seed %d, p=%g)\n",
+			*scale, *workers, *seed, *faultP)
+		ms, err := harness.RunChaos(workloads, harness.ChaosOptions{
+			Seed: *seed, FaultP: *faultP, Progress: os.Stderr,
+		})
+		if err != nil {
+			log.Fatalf("graft-bench: %v", err)
+		}
+		fmt.Println()
+		harness.PrintChaos(os.Stdout, ms)
+		for _, m := range ms {
+			if !m.Match {
+				log.Fatalf("graft-bench: %s diverged from its fault-free run", m.Workload)
+			}
+		}
+		fmt.Println("\nchaos check: OK (all workloads match their fault-free runs)")
 	default:
 		flag.Usage()
 		os.Exit(2)

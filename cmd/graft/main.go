@@ -20,6 +20,7 @@ import (
 	"graft/internal/algorithms"
 	"graft/internal/core"
 	"graft/internal/dfs"
+	"graft/internal/faults"
 	"graft/internal/graphgen"
 	"graft/internal/graphio"
 	"graft/internal/harness"
@@ -149,6 +150,10 @@ func cmdRun(args []string) error {
 	debug := fs.String("debug", "DC-sp", "debug preset or none")
 	traceDir := fs.String("trace-dir", "graft-traces", "trace directory")
 	jobID := fs.String("job", "", "job ID (default: <alg>-<timestamp>)")
+	checkpointEvery := fs.Int("checkpoint-every", 0, "checkpoint before every Nth superstep (0 disables)")
+	crashAt := fs.Int("crash-at", -1, "simulate a worker crash after this superstep (requires -checkpoint-every)")
+	chaos := fs.Float64("chaos", 0, "per-operation storage fault probability injected into the checkpoint FS")
+	chaosSeed := fs.Int64("chaos-seed", 0, "seed for fault injection and retry jitter (default: -seed)")
 	fs.Parse(args)
 
 	a, err := buildAlgorithm(*alg, *seed, *supersteps)
@@ -170,6 +175,37 @@ func cmdRun(args []string) error {
 		Combiner:      a.Combiner,
 		Master:        a.Master,
 		MaxSupersteps: a.MaxSupersteps,
+	}
+	if *checkpointEvery > 0 {
+		if *chaosSeed == 0 {
+			*chaosSeed = *seed
+		}
+		var ckptFS dfs.FileSystem = dfs.NewMemFS()
+		if *chaos > 0 {
+			// Seeded faults on checkpoint writes, absorbed by bounded
+			// retries — the run exercises the resilient storage path and
+			// reports what it survived in the resilience line below.
+			plan := faults.Plan{
+				Seed:         *chaosSeed,
+				P:            map[faults.Op]float64{faults.OpWrite: *chaos, faults.OpCreate: *chaos / 2, faults.OpClose: *chaos / 2},
+				MaxPerPathOp: 2,
+				ShortWrites:  true,
+			}
+			ckptFS = faults.NewRetryFS(faults.NewFaultFS(ckptFS, plan), *chaosSeed)
+		}
+		engCfg.CheckpointEvery = *checkpointEvery
+		engCfg.CheckpointFS = ckptFS
+		engCfg.CheckpointPrefix = "ckpt/"
+		if *crashAt >= 0 {
+			crashed := false
+			engCfg.FailureAt = func(superstep int) bool {
+				if superstep == *crashAt && !crashed {
+					crashed = true
+					return true
+				}
+				return false
+			}
+		}
 	}
 	comp := a.Compute
 
@@ -212,6 +248,9 @@ func cmdRun(args []string) error {
 	}
 	fmt.Printf("finished: %d supersteps, %v, %d messages, %v\n",
 		stats.Supersteps, stats.Reason, stats.TotalMessages, stats.Runtime.Round(time.Millisecond))
+	if stats.Recoveries > 0 || stats.Faults.Any() {
+		fmt.Printf("resilience: recoveries=%d %s\n", stats.Recoveries, stats.Faults)
+	}
 	if session != nil {
 		fmt.Printf("captures: %d (limit hit: %v)\n", session.Captures(), session.LimitHit())
 	}

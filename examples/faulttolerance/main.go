@@ -1,9 +1,10 @@
 // faulttolerance demonstrates the substrate features Graft inherits
 // from the Giraph/HDFS stack it stands in for: the engine checkpoints
-// into a simulated distributed file system, a worker "crashes"
-// mid-job, the engine recovers from the latest checkpoint and finishes
-// with exactly the result of an undisturbed run — and the DFS itself
-// survives a datanode failure through replication and re-replication.
+// into a simulated distributed file system through a deterministic
+// fault injector and a retry layer, a worker "crashes" mid-job, the
+// engine recovers from the latest checkpoint and finishes with exactly
+// the result of an undisturbed run — and the DFS itself survives a
+// datanode failure through replication and re-replication.
 package main
 
 import (
@@ -13,6 +14,7 @@ import (
 	"graft"
 	"graft/internal/algorithms"
 	"graft/internal/dfs"
+	"graft/internal/faults"
 	"graft/internal/graphgen"
 	"graft/internal/pregel"
 )
@@ -26,8 +28,17 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// A simulated HDFS: 4 datanodes, 2 replicas per block.
+	// A simulated HDFS: 4 datanodes, 2 replicas per block. Checkpoint
+	// writes pass through a seeded fault injector (so some writes fail
+	// deterministically) and a retry layer that absorbs those failures
+	// with capped exponential backoff.
 	cluster := dfs.NewCluster(4, 2, 8<<10)
+	ckptFS := graft.NewRetryFS(graft.NewFaultFS(cluster, graft.FaultPlan{
+		Seed:         7,
+		P:            map[faults.Op]float64{faults.OpWrite: 0.3, faults.OpCreate: 0.15, faults.OpClose: 0.15},
+		MaxPerPathOp: 2,
+		ShortWrites:  true,
+	}), 7)
 
 	// The same job, checkpointing every 2 supersteps, with a worker
 	// crash injected after superstep 3.
@@ -37,7 +48,7 @@ func main() {
 		Engine: pregel.Config{
 			NumWorkers:       4,
 			CheckpointEvery:  2,
-			CheckpointFS:     cluster,
+			CheckpointFS:     ckptFS,
 			CheckpointPrefix: "cc-job/",
 			FailureAt: func(superstep int) bool {
 				if superstep == 3 && !crashed {
@@ -54,6 +65,7 @@ func main() {
 	}
 	fmt.Printf("recovered run: %d supersteps, %d recovery, reason=%v\n",
 		res.Stats.Supersteps, res.Stats.Recoveries, res.Stats.Reason)
+	fmt.Printf("resilience: %s\n", res.Stats.Faults)
 
 	// The recovered run's output matches the reference exactly.
 	diffs := 0
@@ -81,7 +93,7 @@ func main() {
 		log.Fatalf("checkpoint unreadable after single-node failure: %v", err)
 	}
 	fmt.Println("latest checkpoint still readable from surviving replicas")
-	created := cluster.Rereplicate()
-	fmt.Printf("re-replication created %d new replicas; under-replicated now: %d\n",
+	created := cluster.Revive(0) // a returning node heals its own gaps
+	fmt.Printf("datanode 0 revived; re-replication created %d new replicas; under-replicated now: %d\n",
 		created, cluster.UnderReplicated())
 }

@@ -34,6 +34,7 @@ import (
 	"graft/internal/algorithms"
 	"graft/internal/core"
 	"graft/internal/dfs"
+	"graft/internal/faults"
 	"graft/internal/pregel"
 	"graft/internal/trace"
 )
@@ -82,6 +83,19 @@ type (
 	Aggregator = pregel.Aggregator
 	// Combiner merges messages addressed to the same vertex.
 	Combiner = pregel.Combiner
+	// FaultStats aggregates storage-resilience counters for one job.
+	FaultStats = pregel.FaultStats
+	// FaultPlan configures deterministic fault injection (see
+	// internal/faults).
+	FaultPlan = faults.Plan
+	// FaultFS injects seeded faults into a wrapped file system.
+	FaultFS = faults.FaultFS
+	// RetryFS absorbs transient storage failures with capped
+	// exponential backoff.
+	RetryFS = faults.RetryFS
+	// FallbackFS degrades files onto a secondary file system when the
+	// primary keeps failing.
+	FallbackFS = faults.FallbackFS
 )
 
 // Re-exported value constructors, so user computations and generated
@@ -110,6 +124,18 @@ func NewLocalFS(dir string) (*dfs.LocalFS, error) { return dfs.NewLocalFS(dir) }
 
 // NewStore returns a trace store rooted at root within fs.
 func NewStore(fs dfs.FileSystem, root string) *Store { return trace.NewStore(fs, root) }
+
+// NewFaultFS wraps fs with a deterministic, seed-driven fault injector.
+func NewFaultFS(fs dfs.FileSystem, plan FaultPlan) *FaultFS { return faults.NewFaultFS(fs, plan) }
+
+// NewRetryFS wraps fs with bounded exponential-backoff retries.
+func NewRetryFS(fs dfs.FileSystem, seed int64) *RetryFS { return faults.NewRetryFS(fs, seed) }
+
+// NewFallbackFS writes through to primary, degrading files onto
+// secondary when primary conclusively fails.
+func NewFallbackFS(primary, secondary dfs.FileSystem) *FallbackFS {
+	return faults.NewFallbackFS(primary, secondary)
+}
 
 // RunOptions configures one debugged (or plain) job run.
 type RunOptions struct {

@@ -25,6 +25,7 @@ import (
 type Graft struct {
 	cfg     DebugConfig
 	jobID   string
+	store   *trace.Store
 	jw      *trace.JobWriter
 	reasons map[pregel.VertexID]trace.Reason
 	// rcs holds one reusable recording context per worker: a worker
@@ -35,6 +36,7 @@ type Graft struct {
 
 	captures atomic.Int64
 	limitHit atomic.Bool
+	dropped  atomic.Int64 // trace records lost to storage failure
 
 	writeMu  sync.Mutex // serializes error recording only
 	writeErr error
@@ -68,6 +70,7 @@ func Attach(store *trace.Store, opts Options, graph *pregel.Graph, cfg DebugConf
 	g := &Graft{
 		cfg:     cfg,
 		jobID:   opts.JobID,
+		store:   store,
 		reasons: selectTargets(graph, &cfg),
 		rcs:     make([]recordingContext, opts.NumWorkers),
 		start:   time.Now(),
@@ -162,6 +165,30 @@ func (g *Graft) recordWriteErr(err error) {
 	g.writeMu.Unlock()
 }
 
+// recordDropped notes one trace record that could not be written.
+// Trace loss degrades the capture but never aborts the debugged job —
+// the paper's stance, hardened: the drop is counted and surfaced in
+// job.done and Stats.Faults instead of being only a sticky error.
+func (g *Graft) recordDropped(err error) {
+	g.dropped.Add(1)
+	g.recordWriteErr(err)
+}
+
+// DroppedRecords returns how many trace records were lost to storage
+// failure.
+func (g *Graft) DroppedRecords() int64 { return g.dropped.Load() }
+
+// FaultStats returns the trace store's resilience counters (retries,
+// fallbacks, injected faults) plus the records this session dropped.
+func (g *Graft) FaultStats() pregel.FaultStats {
+	var s pregel.FaultStats
+	if p, ok := g.store.FS.(pregel.FaultStatsProvider); ok {
+		s = p.FaultStats()
+	}
+	s.DroppedRecords += g.dropped.Load()
+	return s
+}
+
 // Chain makes Graft forward listener callbacks to next, so callers can
 // keep their own JobListener while debugging.
 func (g *Graft) Chain(next pregel.JobListener) *Graft {
@@ -204,7 +231,7 @@ func (g *Graft) SuperstepStarted(superstep int, info pregel.SuperstepInfo) {
 			Aggregated:  info.Aggregated,
 		})
 		if err != nil {
-			g.recordWriteErr(err)
+			g.recordDropped(err)
 		}
 	}
 	if g.inner != nil {
@@ -220,12 +247,20 @@ func (g *Graft) SuperstepFinished(superstep int, stats pregel.SuperstepStats) {
 }
 
 // JobFinished implements pregel.JobListener: it closes every trace
-// file and writes job.done.
+// file and writes job.done, including the trace store's resilience
+// counters, and folds those counters into the engine's Stats so
+// callers see one combined FaultStats.
 func (g *Graft) JobFinished(stats *pregel.Stats, err error) {
+	// Close (commit) the trace files first: fallback decisions are made
+	// at commit time, and job.done must reflect them.
+	if cerr := g.jw.CloseFiles(); cerr != nil {
+		g.recordWriteErr(cerr)
+	}
 	res := trace.JobResult{
 		Captures:        g.captures.Load(),
 		CaptureLimitHit: g.limitHit.Load(),
 		RuntimeMillis:   time.Since(g.start).Milliseconds(),
+		DroppedRecords:  g.dropped.Load(),
 	}
 	if stats != nil {
 		res.Supersteps = stats.Supersteps
@@ -236,6 +271,15 @@ func (g *Graft) JobFinished(stats *pregel.Stats, err error) {
 	}
 	if g.writeErr != nil && res.Error == "" {
 		res.Error = fmt.Sprintf("trace write: %v", g.writeErr)
+	}
+	if d, ok := g.store.FS.(interface{ DegradedPaths() []string }); ok {
+		res.StorageDegraded = d.DegradedPaths()
+	}
+	if p, ok := g.store.FS.(pregel.FaultStatsProvider); ok {
+		res.StorageRetries = p.FaultStats().Retries
+	}
+	if stats != nil {
+		stats.Faults.Add(g.FaultStats())
 	}
 	if ferr := g.jw.Finish(res); ferr != nil {
 		g.recordWriteErr(ferr)
@@ -392,7 +436,7 @@ func (g *Graft) capture(ctx pregel.Context, v *pregel.Vertex, msgs []pregel.Valu
 		c.Outgoing[i] = trace.OutMsg{To: m.To, Value: pregel.CloneValue(m.Value)}
 	}
 	if err := g.jw.Worker(ctx.WorkerID()).WriteVertexCapture(c); err != nil {
-		g.recordWriteErr(err)
+		g.recordDropped(err)
 	}
 }
 

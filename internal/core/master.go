@@ -52,7 +52,7 @@ func (im *instrumentedMaster) Compute(ctx pregel.MasterContext) error {
 		Exception:        exc,
 	}
 	if werr := g.jw.Master().WriteMasterCapture(cap); werr != nil {
-		g.recordWriteErr(werr)
+		g.recordDropped(werr)
 	}
 	return err
 }

@@ -1,0 +1,164 @@
+package dfs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestClusterWritesRaceNodeChurn hammers a cluster with concurrent
+// writers while other goroutines kill, revive and re-replicate nodes.
+// Run under -race this is primarily a data-race detector for the
+// placement/heal paths; functionally, every file written while at
+// least one node was alive must read back intact once the cluster
+// heals.
+func TestClusterWritesRaceNodeChurn(t *testing.T) {
+	c := NewCluster(4, 2, 256)
+
+	const writers = 8
+	const filesPerWriter = 30
+	var wg sync.WaitGroup
+	errs := make([]error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < filesPerWriter; i++ {
+				path := fmt.Sprintf("churn/w%d/f%03d", w, i)
+				data := []byte(fmt.Sprintf("writer %d file %d payload padding padding padding", w, i))
+				if err := WriteFile(c, path, data); err != nil {
+					errs[w] = fmt.Errorf("%s: %w", path, err)
+					return
+				}
+			}
+		}(w)
+	}
+
+	// Churn: nodes 0 and 1 flap while writes are in flight; node 2 and
+	// 3 stay up so every block always has a live placement target.
+	done := make(chan struct{})
+	var churn sync.WaitGroup
+	for n := 0; n < 2; n++ {
+		churn.Add(1)
+		go func(n int) {
+			defer churn.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				if i%2 == 0 {
+					c.Kill(n)
+				} else {
+					c.Revive(n)
+				}
+			}
+		}(n)
+	}
+	churn.Add(1)
+	go func() {
+		defer churn.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			c.Rereplicate()
+			c.UnderReplicated()
+		}
+	}()
+
+	wg.Wait()
+	close(done)
+	churn.Wait()
+
+	for w, err := range errs {
+		if err != nil {
+			t.Fatalf("writer %d failed despite live nodes: %v", w, err)
+		}
+	}
+
+	// Heal completely, then verify every byte of every file.
+	c.Revive(0)
+	c.Revive(1)
+	if ur := c.UnderReplicated(); ur != 0 {
+		t.Fatalf("under-replicated blocks after full heal: %d", ur)
+	}
+	for w := 0; w < writers; w++ {
+		for i := 0; i < filesPerWriter; i++ {
+			path := fmt.Sprintf("churn/w%d/f%03d", w, i)
+			want := fmt.Sprintf("writer %d file %d payload padding padding padding", w, i)
+			got, err := ReadFile(c, path)
+			if err != nil {
+				t.Fatalf("%s unreadable after churn: %v", path, err)
+			}
+			if string(got) != want {
+				t.Fatalf("%s corrupted: %q", path, got)
+			}
+		}
+	}
+}
+
+// TestClusterMidWriteNodeDeath kills a node between a writer's block
+// flushes: placement retries onto live nodes, the write succeeds, and
+// the counters record what happened.
+func TestClusterMidWriteNodeDeath(t *testing.T) {
+	c := NewCluster(3, 2, 64)
+	w, err := c.Create("big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 64)
+	for i := range buf {
+		buf[i] = byte('a' + i%26)
+	}
+	if _, err := w.Write(buf); err != nil { // flushes block 1 with all nodes up
+		t.Fatal(err)
+	}
+	c.Kill(0)
+	if _, err := w.Write(buf); err != nil { // block 2 must dodge the dead node
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(c, "big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2*len(buf) {
+		t.Fatalf("file length %d, want %d", len(got), 2*len(buf))
+	}
+	if c.WriteRetries() == 0 {
+		t.Error("WriteRetries not counted for the dead-node placement")
+	}
+
+	// Revive auto-heals: any block that went under-replicated while the
+	// node was down regains its replica without an explicit Rereplicate.
+	c.Revive(0)
+	if ur := c.UnderReplicated(); ur != 0 {
+		t.Errorf("under-replicated blocks after Revive: %d", ur)
+	}
+}
+
+// TestClusterDegradedWriteCounted pins the DegradedWrites counter: with
+// only one of two replica targets alive, blocks commit under-replicated
+// and the counter says so.
+func TestClusterDegradedWriteCounted(t *testing.T) {
+	c := NewCluster(2, 2, 1024)
+	c.Kill(1)
+	if err := WriteFile(c, "f", []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	if c.DegradedWrites() == 0 {
+		t.Error("DegradedWrites not counted with one target dead")
+	}
+	if created := c.Revive(1); created == 0 {
+		t.Error("Revive healed nothing; expected the degraded block to re-replicate")
+	}
+	if ur := c.UnderReplicated(); ur != 0 {
+		t.Errorf("under-replicated blocks after heal: %d", ur)
+	}
+}

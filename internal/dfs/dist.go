@@ -6,6 +6,7 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // DefaultBlockSize is the chunk size for Cluster files. Real HDFS uses
@@ -27,6 +28,14 @@ type Cluster struct {
 	blockSize   int
 	nextBlock   blockID
 	nextNode    int // round-robin placement cursor
+
+	// writeRetries counts block placements re-attempted on another
+	// node because the first choice was dead (mid-write datanode
+	// failure tolerance).
+	writeRetries atomic.Int64
+	// degradedWrites counts blocks committed with fewer live replicas
+	// than the replication factor.
+	degradedWrites atomic.Int64
 }
 
 type blockID int64
@@ -124,13 +133,26 @@ func (c *Cluster) Kill(node int) {
 }
 
 // Revive brings a killed datanode back with its blocks intact (a
-// transient failure, not a disk loss).
-func (c *Cluster) Revive(node int) {
+// transient failure, not a disk loss) and immediately heals
+// under-replicated blocks — node recovery triggers re-replication the
+// way a namenode reacts to a returning heartbeat. It returns the
+// number of replicas the heal created.
+func (c *Cluster) Revive(node int) int {
 	n := c.nodes[node]
 	n.mu.Lock()
 	n.alive = true
 	n.mu.Unlock()
+	return c.Rereplicate()
 }
+
+// WriteRetries returns how many block placements were re-attempted on
+// another datanode because the first choice was dead.
+func (c *Cluster) WriteRetries() int64 { return c.writeRetries.Load() }
+
+// DegradedWrites returns how many blocks were committed with fewer
+// live replicas than the replication factor (durably written, but
+// awaiting Rereplicate).
+func (c *Cluster) DegradedWrites() int64 { return c.degradedWrites.Load() }
 
 // Create implements FileSystem.
 func (c *Cluster) Create(path string) (io.WriteCloser, error) {
@@ -141,7 +163,12 @@ func (c *Cluster) Create(path string) (io.WriteCloser, error) {
 }
 
 // placeBlock stores data on `replication` live datanodes, chosen
-// round-robin. It returns an error only when no node is alive.
+// round-robin. A node that dies mid-write is tolerated: placement
+// retries on the next live node (counted in WriteRetries), every node
+// is tried before giving up, and a block placed on at least one node
+// succeeds — possibly under-replicated (counted in DegradedWrites)
+// until Rereplicate or a Revive heals it. It returns an error only
+// when no node accepts the block.
 func (c *Cluster) placeBlock(data []byte) (blockID, error) {
 	c.mu.Lock()
 	id := c.nextBlock
@@ -152,11 +179,16 @@ func (c *Cluster) placeBlock(data []byte) (blockID, error) {
 		c.nextNode++
 		if n.put(id, data) {
 			placed++
+		} else {
+			c.writeRetries.Add(1)
 		}
 	}
 	c.mu.Unlock()
 	if placed == 0 {
 		return 0, ErrNoDataNodes
+	}
+	if placed < c.replication {
+		c.degradedWrites.Add(1)
 	}
 	return id, nil
 }

@@ -1,0 +1,200 @@
+package faults
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"time"
+
+	"graft/internal/dfs"
+	"graft/internal/pregel"
+)
+
+// Retry defaults; chosen small because the simulated file systems fail
+// fast and the wrapper must never stall a superstep barrier noticeably.
+const (
+	DefaultMaxRetries = 4
+	DefaultBaseDelay  = time.Millisecond
+	DefaultMaxDelay   = 20 * time.Millisecond
+)
+
+// RetryFS wraps a file system with bounded, capped-exponential-backoff
+// retries. Reads, listings and removals are retried per call; writes
+// are buffered and committed as a whole file on Close, with each
+// failed attempt's partial file removed before the next try, so a
+// checkpoint or trace file is either fully present or absent.
+//
+// Backoff jitter is derived deterministically from (Seed, path,
+// attempt), never from a shared RNG, so concurrent retries across
+// files do not perturb each other's timing decisions.
+type RetryFS struct {
+	FS dfs.FileSystem
+	// MaxRetries is the number of re-attempts after the first failure
+	// of one logical operation (default DefaultMaxRetries).
+	MaxRetries int
+	// BaseDelay is the first backoff delay; it doubles per attempt up
+	// to MaxDelay.
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	// Seed drives jitter decisions.
+	Seed int64
+	// Sleep is swappable for tests; nil means time.Sleep.
+	Sleep func(time.Duration)
+
+	stats counterStats
+}
+
+// NewRetryFS wraps fs with default retry budgets.
+func NewRetryFS(fs dfs.FileSystem, seed int64) *RetryFS {
+	return &RetryFS{FS: fs, Seed: seed}
+}
+
+func (r *RetryFS) maxRetries() int {
+	if r.MaxRetries > 0 {
+		return r.MaxRetries
+	}
+	return DefaultMaxRetries
+}
+
+// backoffDelay computes the capped exponential delay for one attempt
+// with deterministic jitter in [d/2, d).
+func (r *RetryFS) backoffDelay(path string, attempt int) time.Duration {
+	base := r.BaseDelay
+	if base <= 0 {
+		base = DefaultBaseDelay
+	}
+	max := r.MaxDelay
+	if max <= 0 {
+		max = DefaultMaxDelay
+	}
+	d := base << uint(attempt)
+	if d > max || d <= 0 {
+		d = max
+	}
+	half := d / 2
+	if half <= 0 {
+		return d
+	}
+	j := splitmix64(uint64(r.Seed) ^ splitmix64(pathHash(path)) + uint64(attempt))
+	return half + time.Duration(j%uint64(half))
+}
+
+// retryable reports whether an error is worth another attempt. Missing
+// files are permanent; everything else (injected faults, dead
+// datanodes, unavailable blocks) is treated as transient.
+func retryable(err error) bool {
+	return err != nil && !errors.Is(err, dfs.ErrNotExist)
+}
+
+// do runs op with retries, recording backoff stats.
+func (r *RetryFS) do(path string, op func() error) error {
+	err := op()
+	for attempt := 0; retryable(err) && attempt < r.maxRetries(); attempt++ {
+		d := r.backoffDelay(path, attempt)
+		if r.Sleep != nil {
+			r.Sleep(d)
+		} else {
+			time.Sleep(d)
+		}
+		r.stats.addRetry(d)
+		err = op()
+	}
+	if err != nil {
+		r.stats.addGiveUp()
+	}
+	return err
+}
+
+// Create implements dfs.FileSystem. The returned writer buffers all
+// data; the retried whole-file commit happens on Close.
+func (r *RetryFS) Create(path string) (io.WriteCloser, error) {
+	return &retryWriter{fs: r, path: path}, nil
+}
+
+// Open implements dfs.FileSystem.
+func (r *RetryFS) Open(path string) (io.ReadCloser, error) {
+	var rc io.ReadCloser
+	err := r.do(path, func() error {
+		var e error
+		rc, e = r.FS.Open(path)
+		return e
+	})
+	return rc, err
+}
+
+// List implements dfs.FileSystem.
+func (r *RetryFS) List(prefix string) ([]string, error) {
+	var names []string
+	err := r.do(prefix, func() error {
+		var e error
+		names, e = r.FS.List(prefix)
+		return e
+	})
+	return names, err
+}
+
+// Remove implements dfs.FileSystem.
+func (r *RetryFS) Remove(path string) error {
+	return r.do(path, func() error { return r.FS.Remove(path) })
+}
+
+// Retries returns how many operation re-attempts were made.
+func (r *RetryFS) Retries() int64 { return r.stats.retriesN() }
+
+// FaultStats implements pregel.FaultStatsProvider, merging retry
+// counters with any provider underneath.
+func (r *RetryFS) FaultStats() pregel.FaultStats {
+	s := r.stats.snapshot()
+	if p, ok := r.FS.(pregel.FaultStatsProvider); ok {
+		s.Add(p.FaultStats())
+	}
+	return s
+}
+
+// putFile writes data to path as one atomic attempt: create, write,
+// close. A failed attempt removes whatever partial file it may have
+// left before backing off, so readers never see a torn file from a
+// retried write.
+func (r *RetryFS) putFile(path string, data []byte) error {
+	attempt := func() error {
+		w, err := r.FS.Create(path)
+		if err != nil {
+			return err
+		}
+		if _, err := w.Write(data); err != nil {
+			w.Close()
+			r.FS.Remove(path) // best-effort cleanup of a partial file
+			return err
+		}
+		if err := w.Close(); err != nil {
+			r.FS.Remove(path)
+			return err
+		}
+		return nil
+	}
+	return r.do(path, attempt)
+}
+
+type retryWriter struct {
+	fs     *RetryFS
+	path   string
+	buf    bytes.Buffer
+	closed bool
+	err    error
+}
+
+func (w *retryWriter) Write(p []byte) (int, error) {
+	if w.closed {
+		return 0, io.ErrClosedPipe
+	}
+	return w.buf.Write(p)
+}
+
+func (w *retryWriter) Close() error {
+	if w.closed {
+		return w.err
+	}
+	w.closed = true
+	w.err = w.fs.putFile(w.path, w.buf.Bytes())
+	return w.err
+}

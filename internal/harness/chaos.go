@@ -1,0 +1,203 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+	"time"
+
+	"graft/internal/core"
+	"graft/internal/dfs"
+	"graft/internal/faults"
+	"graft/internal/pregel"
+	"graft/internal/trace"
+)
+
+// ChaosOptions tunes a RunChaos sweep: each workload runs once on
+// healthy storage (the reference) and once with seeded faults injected
+// into the checkpoint file system, the trace file system and one
+// datanode, a worker crash forcing checkpoint recovery mid-job.
+type ChaosOptions struct {
+	// Seed drives the dataset, the injectors and the retry jitter.
+	Seed int64
+	// CheckpointEvery is the checkpoint interval (default 2).
+	CheckpointEvery int
+	// CrashAt is the superstep after which a worker crash is injected
+	// once (default 3).
+	CrashAt int
+	// FaultP is the per-operation fault probability injected into
+	// storage writes (default 0.3).
+	FaultP float64
+	// Progress, if non-nil, receives one line per finished workload.
+	Progress io.Writer
+}
+
+func (o *ChaosOptions) defaults() {
+	if o.CheckpointEvery <= 0 {
+		o.CheckpointEvery = 2
+	}
+	if o.CrashAt <= 0 {
+		o.CrashAt = 3
+	}
+	if o.FaultP <= 0 {
+		o.FaultP = 0.3
+	}
+}
+
+// ChaosMeasurement is one row of the chaos table: how much abuse one
+// workload absorbed and whether its output still matched the
+// fault-free reference run.
+type ChaosMeasurement struct {
+	Workload   string
+	Supersteps int
+	Recoveries int
+	Faults     pregel.FaultStats
+	// NodeWriteRetries counts block placements retried on another
+	// datanode inside the simulated DFS.
+	NodeWriteRetries int64
+	// Captures written by the debugged chaos run.
+	Captures int64
+	// Match reports whether every vertex value equals the fault-free
+	// run's.
+	Match   bool
+	Runtime time.Duration
+}
+
+// chaosPlan builds the injection plan for one storage role. Faults per
+// (path, op) are capped below the retry budget so a bounded retry loop
+// always converges — the run is abused, not doomed.
+func chaosPlan(seed int64, p float64) faults.Plan {
+	return faults.Plan{
+		Seed:         seed,
+		P:            map[faults.Op]float64{faults.OpWrite: p, faults.OpCreate: p / 2, faults.OpClose: p / 2},
+		MaxPerPathOp: 2,
+		ShortWrites:  true,
+	}
+}
+
+// RunChaos executes each workload under injected storage faults, a
+// datanode kill/revive and one worker crash, comparing final vertex
+// values against a fault-free run of the same seeded dataset.
+func RunChaos(workloads []Workload, opts ChaosOptions) ([]ChaosMeasurement, error) {
+	opts.defaults()
+	var out []ChaosMeasurement
+	for _, wl := range workloads {
+		m, err := runChaosCell(wl, opts)
+		if err != nil {
+			return nil, fmt.Errorf("harness: chaos %s: %w", wl.Label, err)
+		}
+		out = append(out, m)
+		if opts.Progress != nil {
+			fmt.Fprintf(opts.Progress, "%-10s recoveries=%d %s node-write-retries=%d match=%v\n",
+				m.Workload, m.Recoveries, m.Faults, m.NodeWriteRetries, m.Match)
+		}
+	}
+	return out, nil
+}
+
+func runChaosCell(wl Workload, opts ChaosOptions) (ChaosMeasurement, error) {
+	m := ChaosMeasurement{Workload: wl.Label}
+	base := wl.Dataset.Build()
+
+	// Reference: the same graph and algorithm on healthy storage.
+	ref := base.Clone()
+	refAlg := wl.Algorithm()
+	refJob := pregel.NewJob(ref, refAlg.Compute, pregel.Config{
+		NumWorkers:    wl.Workers,
+		Combiner:      refAlg.Combiner,
+		Master:        refAlg.Master,
+		MaxSupersteps: refAlg.MaxSupersteps,
+	})
+	for _, spec := range refAlg.Aggregators {
+		refJob.RegisterAggregator(spec.Name, spec.Agg, spec.Persistent)
+	}
+	if _, err := refJob.Run(); err != nil {
+		return m, err
+	}
+
+	// Chaos run: simulated DFS under the checkpoints and traces, a
+	// fault injector and retry layer on each path, a memory fallback
+	// for traces, one worker crash and one datanode kill/revive.
+	cluster := dfs.NewCluster(4, 2, 8<<10)
+	ckptFS := faults.NewRetryFS(faults.NewFaultFS(cluster, chaosPlan(opts.Seed, opts.FaultP)), opts.Seed)
+	traceFS := faults.NewFallbackFS(
+		faults.NewRetryFS(faults.NewFaultFS(cluster, chaosPlan(opts.Seed+1, opts.FaultP)), opts.Seed+1),
+		dfs.NewMemFS(),
+	)
+	store := trace.NewStore(traceFS, "chaos")
+
+	g := base.Clone()
+	alg := wl.Algorithm()
+	session, err := core.Attach(store, core.Options{
+		JobID:      fmt.Sprintf("chaos-%s", wl.Label),
+		Algorithm:  alg.Name,
+		NumWorkers: wl.Workers,
+	}, g, core.DebugConfig{
+		CaptureIDs:        []pregel.VertexID{1, 2, 3, 4, 5},
+		CaptureExceptions: true,
+	})
+	if err != nil {
+		return m, err
+	}
+
+	crashed := false
+	cfg := pregel.Config{
+		NumWorkers:       wl.Workers,
+		Combiner:         alg.Combiner,
+		Master:           session.InstrumentMaster(alg.Master),
+		MaxSupersteps:    alg.MaxSupersteps,
+		Listener:         session,
+		CheckpointEvery:  opts.CheckpointEvery,
+		CheckpointFS:     ckptFS,
+		CheckpointPrefix: "chaos-ckpt/",
+		FailureAt: func(superstep int) bool {
+			if superstep == opts.CrashAt && !crashed {
+				crashed = true
+				cluster.Kill(0) // the crash takes a datanode down with it
+				return true
+			}
+			if crashed && superstep == opts.CrashAt+1 && !cluster.Node(0).Alive() {
+				cluster.Revive(0) // node recovery triggers re-replication
+			}
+			return false
+		},
+	}
+	job := pregel.NewJob(g, session.Instrument(alg.Compute), cfg)
+	for _, spec := range alg.Aggregators {
+		job.RegisterAggregator(spec.Name, spec.Agg, spec.Persistent)
+	}
+	start := time.Now()
+	stats, err := job.Run()
+	if err != nil {
+		return m, err
+	}
+	m.Runtime = time.Since(start)
+	m.Supersteps = stats.Supersteps
+	m.Recoveries = stats.Recoveries
+	m.Faults = stats.Faults
+	m.NodeWriteRetries = cluster.WriteRetries()
+	m.Captures = session.Captures()
+
+	m.Match = true
+	ref.Each(func(v *pregel.Vertex) {
+		got := g.Vertex(v.ID())
+		if got == nil || !pregel.ValuesEqual(v.Value(), got.Value()) {
+			m.Match = false
+		}
+	})
+	return m, nil
+}
+
+// PrintChaos renders chaos measurements as a table.
+func PrintChaos(w io.Writer, ms []ChaosMeasurement) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "workload\tsupersteps\trecoveries\tinjected\tretries\tbackoff\tfallbacks\tdropped\tcorrupt-ckpts\tnode-retries\tcaptures\tmatch")
+	for _, m := range ms {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%s\t%d\t%d\t%d\t%d\t%d\t%v\n",
+			m.Workload, m.Supersteps, m.Recoveries,
+			m.Faults.Injected, m.Faults.Retries, m.Faults.Backoff.Round(time.Microsecond),
+			m.Faults.Fallbacks, m.Faults.DroppedRecords, m.Faults.CorruptCheckpoints,
+			m.NodeWriteRetries, m.Captures, m.Match)
+	}
+	tw.Flush()
+}

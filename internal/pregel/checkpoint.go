@@ -62,25 +62,47 @@ func (en *engine) writeCheckpoint() error {
 		en.cur.encode(i, e)
 	}
 
-	w, err := en.cfg.CheckpointFS.Create(en.checkpointPath(en.superstep))
+	path := en.checkpointPath(en.superstep)
+	w, err := en.cfg.CheckpointFS.Create(path)
 	if err != nil {
 		return err
 	}
 	if _, err := w.Write(e.Bytes()); err != nil {
 		w.Close()
+		// Never leave a truncated file as the newest checkpoint:
+		// recovery prefers the highest superstep number, so a torn
+		// newest file would shadow an older intact one.
+		en.cfg.CheckpointFS.Remove(path)
 		return err
 	}
-	return w.Close()
+	if err := w.Close(); err != nil {
+		en.cfg.CheckpointFS.Remove(path)
+		return err
+	}
+	return nil
 }
 
-// recoverFromCheckpoint restores the latest checkpoint at or before
-// the current superstep, rewinding the engine so the run loop resumes
-// from the checkpointed superstep.
+// maxRecoveries returns the effective recovery budget: the configured
+// value, or the default of 3 for configurations built without NewJob.
+func (en *engine) maxRecoveries() int {
+	if en.cfg.MaxRecoveries > 0 {
+		return en.cfg.MaxRecoveries
+	}
+	return 3
+}
+
+// recoverFromCheckpoint restores the newest *intact* checkpoint at or
+// before the current superstep, rewinding the engine so the run loop
+// resumes from the checkpointed superstep. A checkpoint that cannot be
+// read or decoded (truncated file, bad magic, lost DFS blocks) is
+// skipped in favor of the next older one, and counted in
+// Stats.Faults.CorruptCheckpoints; the hard errors are ErrNoCheckpoint
+// (nothing intact remains) and ErrTooManyRecoveries.
 func (en *engine) recoverFromCheckpoint() error {
-	en.stats.Recoveries++
-	if en.stats.Recoveries > en.cfg.MaxRecoveries {
+	if en.stats.Recoveries >= en.maxRecoveries() {
 		return ErrTooManyRecoveries
 	}
+	en.stats.Recoveries++
 	if en.cfg.CheckpointFS == nil {
 		return ErrNoCheckpoint
 	}
@@ -88,7 +110,7 @@ func (en *engine) recoverFromCheckpoint() error {
 	if err != nil {
 		return err
 	}
-	best := -1
+	var candidates []int
 	for _, name := range names {
 		idx := strings.LastIndex(name, "checkpoint_")
 		if idx < 0 {
@@ -98,14 +120,33 @@ func (en *engine) recoverFromCheckpoint() error {
 		if err != nil {
 			continue
 		}
-		if n <= en.superstep && n > best {
-			best = n
+		if n <= en.superstep {
+			candidates = append(candidates, n)
 		}
 	}
-	if best < 0 {
+	if len(candidates) == 0 {
 		return ErrNoCheckpoint
 	}
-	r, err := en.cfg.CheckpointFS.Open(en.checkpointPath(best))
+	sort.Sort(sort.Reverse(sort.IntSlice(candidates)))
+	var firstErr error
+	for _, n := range candidates {
+		err := en.restoreCheckpointFile(n)
+		if err == nil {
+			return nil
+		}
+		if firstErr == nil {
+			firstErr = fmt.Errorf("pregel: checkpoint %d: %w", n, err)
+		}
+		en.stats.Faults.CorruptCheckpoints++
+	}
+	return fmt.Errorf("%w (newest candidate: %v)", ErrNoCheckpoint, firstErr)
+}
+
+// restoreCheckpointFile reads and restores one checkpoint. The engine
+// is mutated only after the whole file decodes cleanly, so a failure
+// here leaves the engine ready to try an older checkpoint.
+func (en *engine) restoreCheckpointFile(superstep int) error {
+	r, err := en.cfg.CheckpointFS.Open(en.checkpointPath(superstep))
 	if err != nil {
 		return err
 	}
@@ -174,8 +215,10 @@ func (en *engine) restore(raw []byte) error {
 
 	// Re-point the input graph at the restored vertex objects; the
 	// pre-failure ones are stale and must not be what callers read
-	// after the run.
-	en.job.graph.vertices = make(map[VertexID]*Vertex)
+	// after the run. Entries for vertices in no partition are kept:
+	// those left the computation before the checkpoint (RemoveVertexRequest),
+	// and their graph entry holds their preserved final state — often
+	// the algorithm's output, e.g. matching partners in MWM.
 	for _, p := range parts {
 		for id, v := range p.verts {
 			en.job.graph.vertices[id] = v

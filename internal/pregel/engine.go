@@ -50,7 +50,11 @@ type Stats struct {
 	// Recoveries counts checkpoint recoveries triggered by failure
 	// injection.
 	Recoveries int
-	Runtime    time.Duration
+	// Faults aggregates storage-resilience counters: faults injected
+	// into the checkpoint/trace file systems and the retries, fallbacks
+	// and skipped checkpoints that absorbed them.
+	Faults  FaultStats
+	Runtime time.Duration
 	// PerSuperstep has one entry per executed superstep.
 	PerSuperstep []SuperstepStats
 }
@@ -257,6 +261,12 @@ func (en *engine) run() (*Stats, error) {
 	finish := func(err error) (*Stats, error) {
 		en.stats.Supersteps = en.superstep
 		en.stats.Runtime = time.Since(start)
+		// Fold in the checkpoint file system's resilience counters
+		// before listeners observe the stats; Graft's listener adds the
+		// trace file system's own on top.
+		if p, ok := en.cfg.CheckpointFS.(FaultStatsProvider); ok {
+			en.stats.Faults.Add(p.FaultStats())
+		}
 		if listener != nil {
 			listener.JobFinished(&en.stats, err)
 		}

@@ -1,0 +1,58 @@
+package pregel
+
+import (
+	"fmt"
+	"time"
+)
+
+// FaultStats aggregates the storage-resilience counters of one job:
+// what the fault-injection layer threw at it and how the retry /
+// fallback machinery absorbed it. The engine folds in counters from
+// the checkpoint file system; Graft's instrumenter folds in the trace
+// file system's. All counters are zero for a run on healthy storage.
+type FaultStats struct {
+	// Injected counts faults produced by a test injector.
+	Injected int64
+	// Retries counts storage operations re-attempted after a transient
+	// failure.
+	Retries int64
+	// Backoff is the total time spent sleeping between retries.
+	Backoff time.Duration
+	// Fallbacks counts files degraded onto a secondary file system.
+	Fallbacks int64
+	// DroppedRecords counts trace records lost to persistent write
+	// failure (the job continued without them).
+	DroppedRecords int64
+	// CorruptCheckpoints counts checkpoints skipped during recovery
+	// because they were truncated or failed to decode.
+	CorruptCheckpoints int64
+}
+
+// Add folds o's counters into s.
+func (s *FaultStats) Add(o FaultStats) {
+	s.Injected += o.Injected
+	s.Retries += o.Retries
+	s.Backoff += o.Backoff
+	s.Fallbacks += o.Fallbacks
+	s.DroppedRecords += o.DroppedRecords
+	s.CorruptCheckpoints += o.CorruptCheckpoints
+}
+
+// Any reports whether any counter is nonzero.
+func (s FaultStats) Any() bool {
+	return s != FaultStats{}
+}
+
+// String renders the counters as a compact key=value line for CLI
+// output.
+func (s FaultStats) String() string {
+	return fmt.Sprintf("injected=%d retries=%d backoff=%v fallbacks=%d dropped=%d corrupt-checkpoints=%d",
+		s.Injected, s.Retries, s.Backoff.Round(time.Microsecond), s.Fallbacks, s.DroppedRecords, s.CorruptCheckpoints)
+}
+
+// FaultStatsProvider is implemented by resilient file-system wrappers
+// (see internal/faults) that track their own counters; the engine and
+// Graft query it structurally to plumb the numbers into Stats.
+type FaultStatsProvider interface {
+	FaultStats() FaultStats
+}

@@ -63,11 +63,13 @@ func (s *Store) ListJobs() ([]string, error) {
 // worker writer is used only by its worker goroutine; the master
 // writer only by the engine coordinator (listener callbacks).
 type JobWriter struct {
-	store   *Store
-	jobID   string
-	workers []*Writer
-	master  *Writer
-	closed  bool
+	store       *Store
+	jobID       string
+	workers     []*Writer
+	master      *Writer
+	closed      bool
+	filesClosed bool
+	closeErr    error
 }
 
 // NewJobWriter writes the manifest and opens all trace files.
@@ -135,13 +137,27 @@ func (jw *JobWriter) closeAll() error {
 	return first
 }
 
+// CloseFiles closes every trace file (committing them in
+// atomic-on-close file systems) without writing the job result.
+// Callers that inspect storage state between the file commits and
+// job.done — Graft reads the fallback layer's degradation record —
+// call this first; Finish is otherwise enough. Idempotent.
+func (jw *JobWriter) CloseFiles() error {
+	if jw.filesClosed {
+		return jw.closeErr
+	}
+	jw.filesClosed = true
+	jw.closeErr = jw.closeAll()
+	return jw.closeErr
+}
+
 // Finish closes every trace file and writes the job result.
 func (jw *JobWriter) Finish(res JobResult) error {
 	if jw.closed {
 		return nil
 	}
 	jw.closed = true
-	if err := jw.closeAll(); err != nil {
+	if err := jw.CloseFiles(); err != nil {
 		return err
 	}
 	resJSON, err := json.MarshalIndent(res, "", "  ")
