@@ -8,6 +8,7 @@
 //	graft-bench -table 3
 //	graft-bench -fig 8 -scale 0.0005 -reps 5 -workers 8
 //	graft-bench -chaos -scale 0.0005 -workers 8 -seed 42
+//	graft-bench -metrics -scale 0.0005 -reps 5 -out BENCH_metrics.json
 package main
 
 import (
@@ -24,6 +25,8 @@ func main() {
 	table := flag.Int("table", 0, "print a paper table (1, 2 or 3)")
 	fig := flag.Int("fig", 0, "run a paper figure (8, alias 7)")
 	chaos := flag.Bool("chaos", false, "run the workloads under deterministic storage-fault injection")
+	metricsBench := flag.Bool("metrics", false, "measure the telemetry layer's own overhead and phase breakdowns")
+	out := flag.String("out", "BENCH_metrics.json", "output file for the -metrics report")
 	faultP := flag.Float64("fault-p", 0.3, "per-operation fault probability for -chaos")
 	scale := flag.Float64("scale", 0.0002, "dataset scale against paper sizes")
 	reps := flag.Int("reps", 5, "repetitions per cell (the paper used 5)")
@@ -60,6 +63,42 @@ func main() {
 				fmt.Println("\nshape check: OK (debug configs cost >= baseline; DC-full most expensive)")
 			} else {
 				fmt.Println("\nshape check deviations:")
+				for _, p := range problems {
+					fmt.Println("  -", p)
+				}
+			}
+		}
+	case *metricsBench:
+		workloads := harness.StandardWorkloads(*scale, *seed, *workers)
+		configs := harness.StandardConfigs(*seed)
+		debug := configs[len(configs)-1] // DC-full: the worst-case capture load
+		fmt.Printf("Metrics overhead: telemetry on vs off, phase breakdown under %s (scale %g, %d reps, %d workers)\n",
+			debug.Name, *scale, *reps, *workers)
+		ms, err := harness.RunMetricsBench(workloads, debug, harness.Options{
+			Reps: *reps, Seed: *seed, Progress: os.Stderr,
+		})
+		if err != nil {
+			log.Fatalf("graft-bench: %v", err)
+		}
+		fmt.Println()
+		harness.PrintMetricsBench(os.Stdout, ms)
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatalf("graft-bench: %v", err)
+		}
+		if err := harness.WriteMetricsBenchJSON(f, ms); err != nil {
+			log.Fatalf("graft-bench: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatalf("graft-bench: %v", err)
+		}
+		fmt.Printf("\nwrote %s\n", *out)
+		if *check {
+			problems := harness.CheckMetricsOverhead(ms, 0.05)
+			if len(problems) == 0 {
+				fmt.Println("overhead check: OK (telemetry costs < 5% on every workload)")
+			} else {
+				fmt.Println("overhead check deviations:")
 				for _, p := range problems {
 					fmt.Println("  -", p)
 				}

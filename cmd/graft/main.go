@@ -13,6 +13,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"strings"
 	"time"
@@ -24,6 +26,7 @@ import (
 	"graft/internal/graphgen"
 	"graft/internal/graphio"
 	"graft/internal/harness"
+	"graft/internal/metrics"
 	"graft/internal/pregel"
 	"graft/internal/repro"
 	"graft/internal/trace"
@@ -154,6 +157,11 @@ func cmdRun(args []string) error {
 	crashAt := fs.Int("crash-at", -1, "simulate a worker crash after this superstep (requires -checkpoint-every)")
 	chaos := fs.Float64("chaos", 0, "per-operation storage fault probability injected into the checkpoint FS")
 	chaosSeed := fs.Int64("chaos-seed", 0, "seed for fault injection and retry jitter (default: -seed)")
+	metricsAddr := fs.String("metrics-addr", "", "serve live /metrics and /debug/vars on this address (e.g. :8090)")
+	metricsOut := fs.String("metrics-out", "", "stream metrics events to this file as JSON Lines")
+	metricsLinger := fs.Duration("metrics-linger", 0, "keep the -metrics-addr server alive this long after the job ends")
+	pprofOn := fs.Bool("pprof", false, "also mount net/http/pprof on -metrics-addr")
+	noMetrics := fs.Bool("no-metrics", false, "disable per-superstep telemetry collection")
 	fs.Parse(args)
 
 	a, err := buildAlgorithm(*alg, *seed, *supersteps)
@@ -170,11 +178,49 @@ func cmdRun(args []string) error {
 	if err != nil {
 		return err
 	}
+	id := *jobID
+	if id == "" {
+		id = fmt.Sprintf("%s-%d", a.Name, time.Now().UnixNano())
+	}
 	engCfg := pregel.Config{
-		NumWorkers:    *workers,
-		Combiner:      a.Combiner,
-		Master:        a.Master,
-		MaxSupersteps: a.MaxSupersteps,
+		NumWorkers:     *workers,
+		Combiner:       a.Combiner,
+		Master:         a.Master,
+		MaxSupersteps:  a.MaxSupersteps,
+		DisableMetrics: *noMetrics,
+	}
+
+	var reg *metrics.Registry
+	if !*noMetrics {
+		reg = metrics.NewRegistry(id, a.Name)
+	}
+	if *metricsOut != "" {
+		if reg == nil {
+			return fmt.Errorf("-metrics-out needs telemetry (drop -no-metrics)")
+		}
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			return err
+		}
+		sink := metrics.NewJSONLSink(f)
+		defer func() {
+			if err := sink.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "graft: metrics-out:", err)
+			}
+		}()
+		reg.SetSink(sink)
+	}
+	if *metricsAddr != "" {
+		if reg == nil {
+			return fmt.Errorf("-metrics-addr needs telemetry (drop -no-metrics)")
+		}
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			return err
+		}
+		defer ln.Close()
+		go func() { _ = http.Serve(ln, metrics.NewMux(reg, metrics.MuxOptions{Pprof: *pprofOn})) }()
+		fmt.Printf("metrics: http://%s/metrics (and /debug/vars)\n", ln.Addr())
 	}
 	if *checkpointEvery > 0 {
 		if *chaosSeed == 0 {
@@ -192,6 +238,11 @@ func cmdRun(args []string) error {
 				ShortWrites:  true,
 			}
 			ckptFS = faults.NewRetryFS(faults.NewFaultFS(ckptFS, plan), *chaosSeed)
+			if p, ok := ckptFS.(pregel.FaultStatsProvider); ok && reg != nil {
+				// Live /metrics exposes the chaos counters mid-run, before
+				// the engine folds them into the final Stats.
+				reg.AddFaultSource(p)
+			}
 		}
 		engCfg.CheckpointEvery = *checkpointEvery
 		engCfg.CheckpointFS = ckptFS
@@ -210,14 +261,11 @@ func cmdRun(args []string) error {
 	comp := a.Compute
 
 	var session *core.Graft
+	var store *trace.Store
 	if dc != nil {
-		store, err := openStore(*traceDir)
+		store, err = openStore(*traceDir)
 		if err != nil {
 			return err
-		}
-		id := *jobID
-		if id == "" {
-			id = fmt.Sprintf("%s-%d", a.Name, time.Now().UnixNano())
 		}
 		session, err = core.Attach(store, core.Options{
 			JobID:       id,
@@ -231,30 +279,60 @@ func cmdRun(args []string) error {
 		comp = session.Instrument(comp)
 		engCfg.Master = session.InstrumentMaster(engCfg.Master)
 		engCfg.Listener = session
+		if reg != nil {
+			session.Chain(reg)
+			reg.AddFaultSource(session)
+		}
 		fmt.Printf("debugging with %s, traces under %s/%s\n", *debug, *traceDir, id)
+	} else if reg != nil {
+		engCfg.Listener = reg
 	}
 
 	job := pregel.NewJob(g, comp, engCfg)
 	for _, spec := range a.Aggregators {
 		job.RegisterAggregator(spec.Name, spec.Agg, spec.Persistent)
 	}
-	stats, err := job.Run()
-	if err != nil {
-		fmt.Printf("job FAILED: %v\n", err)
+	stats, runErr := job.Run()
+	if reg != nil && store != nil {
+		// Persist next to the trace so the GUI dashboard renders this
+		// run after the process exits.
+		if err := metrics.WriteJobMetrics(store.FS, store.MetricsPath(id), reg.Snapshot()); err != nil {
+			fmt.Fprintln(os.Stderr, "graft: writing job.metrics:", err)
+		}
+	}
+	if runErr != nil {
+		fmt.Printf("job FAILED: %v\n", runErr)
 		if session != nil {
 			fmt.Printf("the failing context was captured (%d captures); inspect with graft show / graft-gui\n", session.Captures())
 		}
+		linger(*metricsAddr, *metricsLinger)
 		return nil // the failure is the expected outcome of exception scenarios
 	}
-	fmt.Printf("finished: %d supersteps, %v, %d messages, %v\n",
-		stats.Supersteps, stats.Reason, stats.TotalMessages, stats.Runtime.Round(time.Millisecond))
+	fmt.Printf("finished: %s\n", stats.String())
+	if compute, barrier, capture := stats.PhaseTotals(); compute > 0 {
+		fmt.Printf("phases: compute=%v barrier=%v capture=%v max-compute-skew=%.2f\n",
+			compute.Round(time.Millisecond), barrier.Round(time.Millisecond),
+			capture.Round(time.Millisecond), stats.MaxComputeSkew())
+	}
 	if stats.Recoveries > 0 || stats.Faults.Any() {
 		fmt.Printf("resilience: recoveries=%d %s\n", stats.Recoveries, stats.Faults)
 	}
 	if session != nil {
 		fmt.Printf("captures: %d (limit hit: %v)\n", session.Captures(), session.LimitHit())
 	}
+	linger(*metricsAddr, *metricsLinger)
 	return nil
+}
+
+// linger keeps the process alive after the job so scrapers can still
+// read the final /metrics state of short runs (the CI smoke test
+// curls a job that finishes in milliseconds).
+func linger(addr string, d time.Duration) {
+	if addr == "" || d <= 0 {
+		return
+	}
+	fmt.Printf("metrics: serving for another %v\n", d)
+	time.Sleep(d)
 }
 
 func cmdJobs(args []string) error {

@@ -33,6 +33,11 @@ type Graft struct {
 	// be recycled instead of allocated, keeping the instrumentation
 	// overhead near the paper's.
 	rcs []recordingContext
+	// capNanos accumulates per-worker time spent in capture
+	// instrumentation. Slots are cache-line padded: each worker writes
+	// only its own, the engine reads it at the barrier
+	// (pregel.CaptureTimeReporter).
+	capNanos []paddedNanos
 
 	captures atomic.Int64
 	limitHit atomic.Bool
@@ -68,12 +73,13 @@ func Attach(store *trace.Store, opts Options, graph *pregel.Graph, cfg DebugConf
 		opts.NumWorkers = pregel.DefaultNumWorkers
 	}
 	g := &Graft{
-		cfg:     cfg,
-		jobID:   opts.JobID,
-		store:   store,
-		reasons: selectTargets(graph, &cfg),
-		rcs:     make([]recordingContext, opts.NumWorkers),
-		start:   time.Now(),
+		cfg:      cfg,
+		jobID:    opts.JobID,
+		store:    store,
+		reasons:  selectTargets(graph, &cfg),
+		rcs:      make([]recordingContext, opts.NumWorkers),
+		capNanos: make([]paddedNanos, opts.NumWorkers),
+		start:    time.Now(),
 	}
 	jw, err := store.NewJobWriter(trace.JobMeta{
 		JobID:       opts.JobID,
@@ -289,12 +295,30 @@ func (g *Graft) JobFinished(stats *pregel.Stats, err error) {
 	}
 }
 
+// paddedNanos is an int64 nanosecond counter padded to its own cache
+// line, so adjacent workers' capture-time accrual never false-shares.
+type paddedNanos struct {
+	n int64
+	_ [120]byte
+}
+
 // instrumentedComputation is the wrapper the Instrumenter installs
 // around the user's Computation (paper §3.1): it calls the original
 // compute with a recording context, then decides whether to capture.
 type instrumentedComputation struct {
 	g    *Graft
 	user pregel.Computation
+}
+
+// CaptureNanos implements pregel.CaptureTimeReporter: cumulative time
+// worker w spent in Graft's capture instrumentation. Each worker
+// updates only its own slot, and the engine reads it from the same
+// goroutine around the worker's compute loop, so plain loads suffice.
+func (ic *instrumentedComputation) CaptureNanos(w int) int64 {
+	if w >= len(ic.g.capNanos) {
+		return 0
+	}
+	return ic.g.capNanos[w].n
 }
 
 // Compute implements pregel.Computation.
@@ -304,6 +328,7 @@ func (ic *instrumentedComputation) Compute(ctx pregel.Context, v *pregel.Vertex,
 	if !g.cfg.observes(superstep) {
 		return ic.user.Compute(ctx, v, msgs)
 	}
+	capStart := time.Now()
 
 	staticReason := g.reasons[v.ID()]
 	needPre := staticReason != 0 || g.cfg.CaptureAllActive
@@ -349,6 +374,12 @@ func (ic *instrumentedComputation) Compute(ctx pregel.Context, v *pregel.Vertex,
 		}
 	}
 
+	// Attribute instrumentation time (snapshotting, constraint checks,
+	// capture writes) to this worker's slot, excluding the user compute
+	// itself, so the engine can report capture overhead per superstep.
+	capSlot := &g.capNanos[worker]
+	capSlot.n += time.Since(capStart).Nanoseconds()
+
 	var exc *trace.ExceptionInfo
 	err := func() (err error) {
 		defer func() {
@@ -360,6 +391,8 @@ func (ic *instrumentedComputation) Compute(ctx pregel.Context, v *pregel.Vertex,
 		}()
 		return ic.user.Compute(rec, v, msgs)
 	}()
+	capStart = time.Now()
+	defer func() { capSlot.n += time.Since(capStart).Nanoseconds() }()
 	if err != nil && exc == nil {
 		exc = &trace.ExceptionInfo{Message: err.Error()}
 	}

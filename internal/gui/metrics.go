@@ -1,0 +1,193 @@
+package gui
+
+import (
+	"errors"
+	"fmt"
+	"html/template"
+	"net/http"
+	"strconv"
+	"time"
+
+	"graft/internal/metrics"
+)
+
+// AttachMetrics mounts a live metrics registry into the GUI: the
+// /metrics and /debug/vars endpoints serve from it, and the dashboard
+// page of the matching job prefers the live snapshot over the
+// persisted file while the job is running. Call before Handler.
+func (s *Server) AttachMetrics(reg *metrics.Registry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.metricsReg = reg
+}
+
+func (s *Server) liveMetrics() *metrics.Registry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.metricsReg
+}
+
+// jobMetrics resolves a job's metrics: persisted job.metrics first,
+// then the attached live registry.
+func (s *Server) jobMetrics(jobID string) (metrics.JobMetrics, error) {
+	jm, err := metrics.ReadJobMetrics(s.store.FS, s.store.MetricsPath(jobID))
+	if err == nil {
+		return jm, nil
+	}
+	if reg := s.liveMetrics(); reg != nil {
+		if snap := reg.Snapshot(); snap.JobID == jobID {
+			return snap, nil
+		}
+	}
+	return jm, err
+}
+
+// ms renders a duration as fractional milliseconds.
+func ms(d time.Duration) string {
+	return fmt.Sprintf("%.2f", float64(d.Microseconds())/1000)
+}
+
+// skewHot is the straggler threshold: a worker running 1.5x the mean
+// marks the superstep as skewed in the dashboard.
+const skewHot = 1.5
+
+type metricsStepRow struct {
+	Superstep                 int
+	Vertices, Active          int64
+	Sent, Combined, Received  int64
+	Compute, Barrier, Capture string
+	ComputeSkew, MessageSkew  string
+	Straggler                 string
+	Hot                       bool
+}
+
+type metricsWorkerRow struct {
+	Worker                    int
+	Vertices, Sent, Received  int64
+	Compute, Barrier, Capture string
+	Straggler                 bool
+}
+
+// handleMetrics renders the GiViP-style per-job dashboard: job-level
+// phase totals, sparklines over supersteps, the per-superstep
+// timing/skew table, and the per-worker breakdown of one superstep.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	jobID := r.PathValue("id")
+	jm, err := s.jobMetrics(jobID)
+	if errors.Is(err, metrics.ErrNoMetrics) {
+		renderPage(w, fmt.Sprintf("%s — metrics", jobID), template.HTML(
+			`<p class="muted">No metrics were recorded for this job. Re-run with the metrics `+
+				`layer enabled (it is on by default for graft run) to populate this dashboard.</p>`))
+		return
+	}
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+
+	var rows []metricsStepRow
+	computeMs := make([]float64, 0, len(jm.Supersteps))
+	sentVals := make([]float64, 0, len(jm.Supersteps))
+	skewVals := make([]float64, 0, len(jm.Supersteps))
+	for _, ss := range jm.Supersteps {
+		straggler := "—"
+		if ss.Straggler >= 0 {
+			straggler = strconv.Itoa(ss.Straggler)
+		}
+		rows = append(rows, metricsStepRow{
+			Superstep: ss.Superstep,
+			Vertices:  ss.VerticesProcessed, Active: ss.ActiveAtEnd,
+			Sent: ss.MessagesSent, Combined: ss.MessagesCombined, Received: ss.MessagesReceived,
+			Compute: ms(ss.ComputeTime), Barrier: ms(ss.BarrierWait), Capture: ms(ss.CaptureTime),
+			ComputeSkew: fmt.Sprintf("%.2f", ss.ComputeSkew),
+			MessageSkew: fmt.Sprintf("%.2f", ss.MessageSkew),
+			Straggler:   straggler,
+			Hot:         ss.ComputeSkew >= skewHot,
+		})
+		computeMs = append(computeMs, float64(ss.ComputeTime.Microseconds())/1000)
+		sentVals = append(sentVals, float64(ss.MessagesSent))
+		skewVals = append(skewVals, ss.ComputeSkew)
+	}
+
+	// Per-worker drill-down for ?superstep=N (default: the slowest).
+	sel := -1
+	if v := r.FormValue("superstep"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil {
+			sel = n
+		}
+	}
+	if sel < 0 {
+		var worst time.Duration
+		for _, ss := range jm.Supersteps {
+			if ss.ComputeTime >= worst {
+				worst, sel = ss.ComputeTime, ss.Superstep
+			}
+		}
+	}
+	var workerRows []metricsWorkerRow
+	for _, ss := range jm.Supersteps {
+		if ss.Superstep != sel {
+			continue
+		}
+		for _, ws := range ss.Workers {
+			workerRows = append(workerRows, metricsWorkerRow{
+				Worker:   ws.Worker,
+				Vertices: ws.VerticesProcessed, Sent: ws.MessagesSent, Received: ws.MessagesReceived,
+				Compute: ms(ws.ComputeTime), Barrier: ms(ws.BarrierWait), Capture: ms(ws.CaptureTime),
+				Straggler: ws.Worker == ss.Straggler && ss.ComputeSkew >= skewHot,
+			})
+		}
+	}
+
+	status := "finished: " + jm.Reason
+	if jm.Running {
+		status = "running"
+	} else if jm.Error != "" {
+		status = "failed: " + jm.Error
+	}
+	overhead := jm.Totals.CaptureOverhead()
+	data := struct {
+		JobID, Algorithm, Status            string
+		Workers                             int
+		Runtime, Recovery                   string
+		ComputeTotal, BarrierTotal          string
+		CaptureTotal, CaptureOverhead       string
+		MaxComputeSkew, MaxMessageSkew      string
+		Sent, Combined, Received, Vertices  int64
+		Recoveries                          int
+		Faults                              string
+		HasFaults                           bool
+		ComputeSpark, SentSpark, SkewSpark  template.HTML
+		Rows                                []metricsStepRow
+		SelectedSuperstep                   int
+		WorkerRows                          []metricsWorkerRow
+	}{
+		JobID: jm.JobID, Algorithm: jm.Algorithm, Status: status,
+		Workers:  jm.NumWorkers,
+		Runtime:  ms(time.Duration(jm.RuntimeNanos)) + " ms",
+		Recovery: ms(time.Duration(jm.RecoveryNanos)) + " ms",
+		ComputeTotal:    ms(time.Duration(jm.Totals.ComputeNanos)) + " ms",
+		BarrierTotal:    ms(time.Duration(jm.Totals.BarrierNanos)) + " ms",
+		CaptureTotal:    ms(time.Duration(jm.Totals.CaptureNanos)) + " ms",
+		CaptureOverhead: fmt.Sprintf("%.2f%%", overhead*100),
+		MaxComputeSkew:  fmt.Sprintf("%.2f", jm.Totals.MaxComputeSkew),
+		MaxMessageSkew:  fmt.Sprintf("%.2f", jm.Totals.MaxMessageSkew),
+		Sent: jm.Totals.MessagesSent, Combined: jm.Totals.MessagesCombined,
+		Received: jm.Totals.MessagesReceived, Vertices: jm.Totals.VerticesProcessed,
+		Recoveries: jm.Recoveries,
+		Faults:     jm.Faults.String(),
+		HasFaults:  jm.Faults.Any() || jm.Recoveries > 0,
+		ComputeSpark: sparklineSVG(computeMs, 260, 48, "#246"),
+		SentSpark:    sparklineSVG(sentVals, 260, 48, "#2a2"),
+		SkewSpark:    sparklineSVG(skewVals, 260, 48, "#c33"),
+		Rows:         rows,
+		SelectedSuperstep: sel,
+		WorkerRows:        workerRows,
+	}
+	body, err := renderSub(metricsTmpl, data)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	renderPage(w, fmt.Sprintf("%s — metrics", jobID), body)
+}

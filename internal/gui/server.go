@@ -16,6 +16,7 @@ import (
 	"strings"
 	"sync"
 
+	"graft/internal/metrics"
 	"graft/internal/pregel"
 	"graft/internal/repro"
 	"graft/internal/trace"
@@ -25,11 +26,12 @@ import (
 type Server struct {
 	store *trace.Store
 
-	mu      sync.Mutex
-	dbs     map[string]*trace.DB
-	offline map[string]*pregel.Graph
-	specs   map[string]repro.GenSpec
-	comps   map[string]pregel.Computation
+	mu         sync.Mutex
+	dbs        map[string]*trace.DB
+	offline    map[string]*pregel.Graph
+	specs      map[string]repro.GenSpec
+	comps      map[string]pregel.Computation
+	metricsReg *metrics.Registry
 }
 
 // NewServer creates a GUI server over the given trace store.
@@ -95,6 +97,23 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /job/{id}/reproduce", s.jobView(s.handleReproduce))
 	mux.HandleFunc("GET /job/{id}/reproduce-suite", s.jobView(s.handleReproduceSuite))
 	mux.HandleFunc("GET /job/{id}/reproduce-master", s.jobView(s.handleReproduceMaster))
+	mux.HandleFunc("GET /job/{id}/metrics", s.handleMetrics)
+
+	// Live metrics endpoints, active once AttachMetrics has been called.
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		if reg := s.liveMetrics(); reg != nil {
+			reg.ServeMetrics(w, r)
+			return
+		}
+		http.Error(w, "no metrics registry attached", http.StatusNotFound)
+	})
+	mux.HandleFunc("GET /debug/vars", func(w http.ResponseWriter, r *http.Request) {
+		if reg := s.liveMetrics(); reg != nil {
+			reg.ServeVars(w, r)
+			return
+		}
+		http.Error(w, "no metrics registry attached", http.StatusNotFound)
+	})
 
 	mux.HandleFunc("GET /diff", s.handleDiff)
 

@@ -129,6 +129,63 @@ func nodeLinkSVG(db *trace.DB, superstep int) template.HTML {
 	return template.HTML(b.String())
 }
 
+// sparklineSVG renders values as a compact polyline, auto-scaled from
+// zero to the series maximum, with the last value printed after the
+// line. The metrics dashboard uses it for the per-superstep trend
+// strips; a single point degrades to a dot.
+func sparklineSVG(values []float64, w, h int, color string) template.HTML {
+	if len(values) == 0 {
+		return template.HTML(`<span class="muted">no data</span>`)
+	}
+	max := 0.0
+	for _, v := range values {
+		if v > max {
+			max = v
+		}
+	}
+	if max == 0 {
+		max = 1
+	}
+	const pad = 4.0
+	plotW, plotH := float64(w)-2*pad-46, float64(h)-2*pad
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" style="background:white;border:1px solid #ddd">`,
+		w, h, w, h)
+	x := func(i int) float64 {
+		if len(values) == 1 {
+			return pad + plotW/2
+		}
+		return pad + plotW*float64(i)/float64(len(values)-1)
+	}
+	y := func(v float64) float64 { return pad + plotH*(1-v/max) }
+	if len(values) == 1 {
+		fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="2.5" fill="%s"/>`, x(0), y(values[0]), color)
+	} else {
+		var pts strings.Builder
+		for i, v := range values {
+			if i > 0 {
+				pts.WriteByte(' ')
+			}
+			fmt.Fprintf(&pts, "%.1f,%.1f", x(i), y(v))
+		}
+		fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.5"/>`, pts.String(), color)
+		last := len(values) - 1
+		fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="2" fill="%s"/>`, x(last), y(values[last]), color)
+	}
+	fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="9" fill="#555">%s</text>`,
+		pad+plotW+6, y(values[len(values)-1])+3, escapeSVG(formatSpark(values[len(values)-1])))
+	fmt.Fprint(&b, `</svg>`)
+	return template.HTML(b.String())
+}
+
+// formatSpark renders a sparkline's last value compactly.
+func formatSpark(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e7 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.2f", v)
+}
+
 // valueColor hashes a value's display form to a stable pastel fill, so
 // equal values (e.g. equal colors in the GC scenario) look identical.
 func valueColor(s string) string {

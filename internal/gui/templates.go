@@ -59,6 +59,7 @@ var superstepNavTmpl = template.Must(template.New("nav").Parse(`
   <a href="/job/{{.JobID}}/violations?superstep={{.Superstep}}">Violations &amp; Exceptions</a>
   <a href="/job/{{.JobID}}/master?superstep={{.Superstep}}">Master</a>
   <a href="/job/{{.JobID}}/replaycheck?superstep={{.Superstep}}">Replay check</a>
+  <a href="/job/{{.JobID}}/metrics?superstep={{.Superstep}}">Metrics</a>
 </div>
 <div class="aggs"><strong>Global data</strong><br>
 vertices: {{.NumVertices}}<br>edges: {{.NumEdges}}<br>
@@ -160,6 +161,57 @@ var masterTmpl = template.Must(template.New("master").Parse(`
 <table><tr><th>Name</th><th>Value</th></tr>
 {{range .Sets}}<tr><td>{{.Name}}</td><td>{{.Value}}</td></tr>{{end}}</table>
 <p><a class="reproduce" href="/job/{{.JobID}}/reproduce-master?superstep={{.Superstep}}">Reproduce Master Context</a></p>
+{{end}}`))
+
+var metricsTmpl = template.Must(template.New("metrics").Parse(`
+<p class="muted">Per-worker superstep telemetry folded at each barrier: compute wall
+time, barrier waits, message traffic, trace-capture cost, and straggler/skew
+indicators (max/mean ratios; a superstep is flagged when a worker runs
+&ge;1.5&times; the mean).</p>
+<table>
+<tr><th>Algorithm</th><td>{{.Algorithm}}</td><th>Status</th><td>{{.Status}}</td>
+<th>Workers</th><td>{{.Workers}}</td><th>Runtime</th><td>{{.Runtime}}</td></tr>
+<tr><th>Compute</th><td>{{.ComputeTotal}}</td><th>Barrier</th><td>{{.BarrierTotal}}</td>
+<th>Capture</th><td>{{.CaptureTotal}} ({{.CaptureOverhead}} of compute)</td>
+<th>Recovery</th><td>{{.Recovery}}</td></tr>
+<tr><th>Vertices processed</th><td>{{.Vertices}}</td><th>Msgs sent</th><td>{{.Sent}}</td>
+<th>combined / received</th><td>{{.Combined}} / {{.Received}}</td>
+<th>Max skew (compute / msg)</th><td>{{.MaxComputeSkew}} / {{.MaxMessageSkew}}</td></tr>
+{{if .HasFaults}}<tr><th>Recoveries</th><td>{{.Recoveries}}</td>
+<th>Faults</th><td colspan="5">{{.Faults}}</td></tr>{{end}}
+</table>
+<table><tr>
+<th>compute time / superstep</th><th>messages sent / superstep</th><th>compute skew / superstep</th>
+</tr><tr>
+<td>{{.ComputeSpark}}</td><td>{{.SentSpark}}</td><td>{{.SkewSpark}}</td>
+</tr></table>
+<h2>Supersteps</h2>
+<table>
+<tr><th>Superstep</th><th>Vertices</th><th>Active after</th><th>Sent</th><th>Combined</th>
+<th>Received</th><th>Compute (ms)</th><th>Barrier (ms)</th><th>Capture (ms)</th>
+<th>Compute skew</th><th>Msg skew</th><th>Straggler</th></tr>
+{{range .Rows}}
+<tr{{if .Hot}} style="background:#fee"{{end}}>
+<td><a href="?superstep={{.Superstep}}">{{.Superstep}}</a></td>
+<td>{{.Vertices}}</td><td>{{.Active}}</td><td>{{.Sent}}</td><td>{{.Combined}}</td>
+<td>{{.Received}}</td><td>{{.Compute}}</td><td>{{.Barrier}}</td><td>{{.Capture}}</td>
+<td>{{.ComputeSkew}}</td><td>{{.MessageSkew}}</td><td>{{.Straggler}}</td>
+</tr>
+{{end}}
+</table>
+{{if .WorkerRows}}
+<h2>Workers at superstep {{.SelectedSuperstep}}</h2>
+<table>
+<tr><th>Worker</th><th>Vertices</th><th>Sent</th><th>Received</th>
+<th>Compute (ms)</th><th>Barrier wait (ms)</th><th>Capture (ms)</th></tr>
+{{range .WorkerRows}}
+<tr{{if .Straggler}} style="background:#fee"{{end}}>
+<td>{{.Worker}}{{if .Straggler}} &#9888; straggler{{end}}</td>
+<td>{{.Vertices}}</td><td>{{.Sent}}</td><td>{{.Received}}</td>
+<td>{{.Compute}}</td><td>{{.Barrier}}</td><td>{{.Capture}}</td>
+</tr>
+{{end}}
+</table>
 {{end}}`))
 
 var offlineIndexTmpl = template.Must(template.New("offlineIndex").Parse(`

@@ -1,0 +1,203 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"text/tabwriter"
+	"time"
+
+	"graft/internal/core"
+	"graft/internal/dfs"
+	"graft/internal/pregel"
+	"graft/internal/trace"
+)
+
+// MetricsBench is one workload's row of the telemetry-overhead
+// experiment behind `graft-bench -metrics`. Three cells feed it:
+//
+//   - baseline: telemetry disabled, no debugger — the engine alone,
+//   - metrics: telemetry enabled, no debugger — isolates what the
+//     per-worker collectors and barrier fold cost,
+//   - debugged: telemetry enabled under the debug config — supplies the
+//     per-phase compute / barrier / capture breakdown.
+//
+// Overhead is the headline number the acceptance gate checks (<5%).
+type MetricsBench struct {
+	Workload string `json:"workload"`
+	Config   string `json:"config"` // debug preset of the breakdown run
+	Reps     int    `json:"reps"`
+	// BaselineNanos is the mean runtime with DisableMetrics set.
+	BaselineNanos int64 `json:"baseline_ns"`
+	// MetricsNanos is the mean runtime with telemetry collected.
+	MetricsNanos int64 `json:"metrics_ns"`
+	// Overhead is MetricsNanos/BaselineNanos - 1.
+	Overhead float64 `json:"metrics_overhead"`
+	// The remaining fields describe the debugged run.
+	Supersteps      int     `json:"supersteps"`
+	ComputeNanos    int64   `json:"compute_ns"`
+	BarrierNanos    int64   `json:"barrier_ns"`
+	CaptureNanos    int64   `json:"capture_ns"`
+	CaptureOverhead float64 `json:"capture_overhead"` // capture / compute
+	MaxComputeSkew  float64 `json:"max_compute_skew"`
+	Captures        int64   `json:"captures"`
+}
+
+// metricsCell runs one (workload, debug, telemetry) combination for
+// opts.Reps measured repetitions after a warmup and returns the mean
+// runtime plus the stats of the last repetition.
+func metricsCell(wl Workload, base *pregel.Graph, cfg NamedConfig, disable bool, opts Options) (time.Duration, *pregel.Stats, int64, error) {
+	times := make([]time.Duration, 0, opts.Reps)
+	var last *pregel.Stats
+	var captures int64
+	for rep := -1; rep < opts.Reps; rep++ {
+		runtime.GC()
+		g := base.Clone()
+		alg := wl.Algorithm()
+		engCfg := pregel.Config{
+			NumWorkers:     wl.Workers,
+			Combiner:       alg.Combiner,
+			Master:         alg.Master,
+			MaxSupersteps:  alg.MaxSupersteps,
+			DisableMetrics: disable,
+		}
+		comp := alg.Compute
+		var session *core.Graft
+		if cfg.Make != nil {
+			store := trace.NewStore(dfs.NewMemFS(), "bench")
+			dc := cfg.Make()
+			var err error
+			session, err = core.Attach(store, core.Options{
+				JobID:      fmt.Sprintf("%s-metrics-%d", wl.Label, rep),
+				Algorithm:  alg.Name,
+				NumWorkers: wl.Workers,
+			}, g, dc)
+			if err != nil {
+				return 0, nil, 0, err
+			}
+			comp = session.Instrument(comp)
+			engCfg.Master = session.InstrumentMaster(engCfg.Master)
+			engCfg.Listener = session
+		}
+		job := pregel.NewJob(g, comp, engCfg)
+		for _, spec := range alg.Aggregators {
+			job.RegisterAggregator(spec.Name, spec.Agg, spec.Persistent)
+		}
+		start := time.Now()
+		stats, err := job.Run()
+		if err != nil {
+			return 0, nil, 0, err
+		}
+		if rep < 0 {
+			continue
+		}
+		times = append(times, time.Since(start))
+		last = stats
+		if session != nil {
+			captures = session.Captures()
+		}
+	}
+	mean, _ := meanStd(times)
+	return mean, last, captures, nil
+}
+
+// RunMetricsBench measures what the metrics layer itself costs: for
+// each workload it compares telemetry-disabled against telemetry-enabled
+// runs of the bare engine, then runs the workload once more under the
+// given debug config to break the runtime into compute / barrier /
+// capture phases.
+func RunMetricsBench(workloads []Workload, debug NamedConfig, opts Options) ([]MetricsBench, error) {
+	if opts.Reps <= 0 {
+		opts.Reps = 5
+	}
+	var out []MetricsBench
+	for _, wl := range workloads {
+		base := wl.Dataset.Build()
+		baseline, _, _, err := metricsCell(wl, base, NamedConfig{Name: "no-debug"}, true, opts)
+		if err != nil {
+			return nil, fmt.Errorf("harness: %s baseline: %w", wl.Label, err)
+		}
+		metered, _, _, err := metricsCell(wl, base, NamedConfig{Name: "no-debug"}, false, opts)
+		if err != nil {
+			return nil, fmt.Errorf("harness: %s metrics: %w", wl.Label, err)
+		}
+		_, stats, captures, err := metricsCell(wl, base, debug, false, opts)
+		if err != nil {
+			return nil, fmt.Errorf("harness: %s %s: %w", wl.Label, debug.Name, err)
+		}
+		row := MetricsBench{
+			Workload:      wl.Label,
+			Config:        debug.Name,
+			Reps:          opts.Reps,
+			BaselineNanos: baseline.Nanoseconds(),
+			MetricsNanos:  metered.Nanoseconds(),
+			Captures:      captures,
+		}
+		if baseline > 0 {
+			row.Overhead = float64(metered)/float64(baseline) - 1
+		}
+		if stats != nil {
+			compute, barrier, capture := stats.PhaseTotals()
+			row.Supersteps = stats.Supersteps
+			row.ComputeNanos = compute.Nanoseconds()
+			row.BarrierNanos = barrier.Nanoseconds()
+			row.CaptureNanos = capture.Nanoseconds()
+			if compute > 0 {
+				row.CaptureOverhead = float64(capture) / float64(compute)
+			}
+			row.MaxComputeSkew = stats.MaxComputeSkew()
+		}
+		out = append(out, row)
+		if opts.Progress != nil {
+			fmt.Fprintf(opts.Progress, "%-10s baseline=%8.2fms metrics=%8.2fms overhead=%+.2f%%\n",
+				wl.Label, float64(baseline.Microseconds())/1000,
+				float64(metered.Microseconds())/1000, row.Overhead*100)
+		}
+	}
+	return out, nil
+}
+
+// PrintMetricsBench renders the telemetry-overhead rows as a table.
+func PrintMetricsBench(w io.Writer, ms []MetricsBench) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "workload\tbaseline\tmetrics\toverhead\tsupersteps\tcompute\tbarrier\tcapture\tcapture/compute\tmax-skew")
+	for _, m := range ms {
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%+.2f%%\t%d\t%s\t%s\t%s\t%.2f%%\t%.2f\n",
+			m.Workload,
+			time.Duration(m.BaselineNanos).Round(time.Microsecond),
+			time.Duration(m.MetricsNanos).Round(time.Microsecond),
+			m.Overhead*100, m.Supersteps,
+			time.Duration(m.ComputeNanos).Round(time.Microsecond),
+			time.Duration(m.BarrierNanos).Round(time.Microsecond),
+			time.Duration(m.CaptureNanos).Round(time.Microsecond),
+			m.CaptureOverhead*100, m.MaxComputeSkew)
+	}
+	tw.Flush()
+}
+
+// WriteMetricsBenchJSON writes the rows as indented JSON (the
+// BENCH_metrics.json artifact).
+func WriteMetricsBenchJSON(w io.Writer, ms []MetricsBench) error {
+	b, err := json.MarshalIndent(ms, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// CheckMetricsOverhead returns deviations where telemetry collection
+// cost more than tolerance (e.g. 0.05 = 5%) of the baseline runtime.
+func CheckMetricsOverhead(ms []MetricsBench, tolerance float64) []string {
+	var problems []string
+	for _, m := range ms {
+		if m.Overhead > tolerance {
+			problems = append(problems, fmt.Sprintf(
+				"%s: telemetry overhead %.2f%% exceeds %.0f%%",
+				m.Workload, m.Overhead*100, tolerance*100))
+		}
+	}
+	return problems
+}

@@ -1,0 +1,229 @@
+// Package metrics is Graft's engine-wide observability layer: it
+// turns the per-worker superstep telemetry the pregel engine folds at
+// each barrier (compute wall time, barrier waits, message traffic,
+// trace-capture time, straggler/skew indicators) into three export
+// surfaces:
+//
+//   - a live HTTP endpoint (/metrics JSON plus an expvar-style
+//     /debug/vars and optional pprof), served standalone by
+//     `graft run -metrics-addr` and mounted into the GUI server,
+//   - a structured JSONL event stream (`graft run -metrics-out`),
+//     consumed by graft-bench for capture-overhead breakdowns,
+//   - a per-job metrics file persisted next to the trace, which the
+//     GUI's dashboard page renders offline.
+//
+// The hot path stays lock-free: workers record into their own padded
+// slots inside the engine and the coordinator folds them at the
+// barrier; this package only observes the folded SuperstepStats once
+// per superstep through the JobListener interface, so its single mutex
+// is contended only by HTTP readers.
+package metrics
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"graft/internal/pregel"
+)
+
+// Totals is the job-level rollup of the per-superstep telemetry.
+type Totals struct {
+	// VerticesProcessed counts Compute invocations over the whole job.
+	VerticesProcessed int64 `json:"vertices_processed"`
+	// MessagesSent counts messages sent (pre-combining).
+	MessagesSent int64 `json:"messages_sent"`
+	// MessagesReceived counts messages delivered to vertices.
+	MessagesReceived int64 `json:"messages_received"`
+	// MessagesCombined counts messages merged away by the combiner.
+	MessagesCombined int64 `json:"messages_combined"`
+	// ComputeNanos sums the worker-phase wall time across supersteps.
+	ComputeNanos int64 `json:"compute_ns"`
+	// BarrierNanos sums worker idle time lost to stragglers.
+	BarrierNanos int64 `json:"barrier_ns"`
+	// CaptureNanos sums time spent inside Graft's trace capture.
+	CaptureNanos int64 `json:"capture_ns"`
+	// MaxComputeSkew is the worst per-superstep max/mean compute ratio.
+	MaxComputeSkew float64 `json:"max_compute_skew"`
+	// MaxMessageSkew is the worst per-superstep message imbalance.
+	MaxMessageSkew float64 `json:"max_message_skew"`
+}
+
+// add folds one superstep into the rollup.
+func (t *Totals) add(ss pregel.SuperstepStats) {
+	t.VerticesProcessed += ss.VerticesProcessed
+	t.MessagesSent += ss.MessagesSent
+	t.MessagesReceived += ss.MessagesReceived
+	t.MessagesCombined += ss.MessagesCombined
+	t.ComputeNanos += ss.ComputeTime.Nanoseconds()
+	t.BarrierNanos += ss.BarrierWait.Nanoseconds()
+	t.CaptureNanos += ss.CaptureTime.Nanoseconds()
+	if ss.ComputeSkew > t.MaxComputeSkew {
+		t.MaxComputeSkew = ss.ComputeSkew
+	}
+	if ss.MessageSkew > t.MaxMessageSkew {
+		t.MaxMessageSkew = ss.MessageSkew
+	}
+}
+
+// CaptureOverhead returns the fraction of worker compute wall time
+// spent inside trace capture — the live equivalent of the paper's
+// Figure 8 overhead measurement.
+func (t Totals) CaptureOverhead() float64 {
+	if t.ComputeNanos == 0 {
+		return 0
+	}
+	return float64(t.CaptureNanos) / float64(t.ComputeNanos)
+}
+
+// JobMetrics is the full observable state of one job: identity, the
+// per-superstep telemetry, the rollup, and the resilience counters.
+// It is what /metrics serves and what the per-job metrics file holds.
+type JobMetrics struct {
+	JobID       string `json:"job_id"`
+	Algorithm   string `json:"algorithm,omitempty"`
+	NumWorkers  int    `json:"num_workers"`
+	NumVertices int64  `json:"num_vertices"`
+	NumEdges    int64  `json:"num_edges"`
+	// Running is true from JobStarted until JobFinished.
+	Running bool `json:"running"`
+	// Supersteps has one entry per finished superstep, in order.
+	Supersteps []pregel.SuperstepStats `json:"supersteps"`
+	Totals     Totals                  `json:"totals"`
+	// Reason/Error/RuntimeNanos are filled at job end.
+	Reason       string `json:"reason,omitempty"`
+	Error        string `json:"error,omitempty"`
+	RuntimeNanos int64  `json:"runtime_ns"`
+	// RecoveryNanos is the portion of the runtime spent restoring
+	// checkpoints.
+	RecoveryNanos int64 `json:"recovery_ns"`
+	Recoveries    int   `json:"recoveries"`
+	// Faults carries the storage-resilience counters: live snapshots of
+	// the registered fault sources while the job runs, the engine's
+	// final folded FaultStats afterwards.
+	Faults pregel.FaultStats `json:"faults"`
+}
+
+// Registry collects one job's metrics and serves them. It implements
+// pregel.JobListener; wire it as the engine listener (or behind
+// core.Graft.Chain so the debugger forwards to it). All listener
+// callbacks run on the engine's coordinator goroutine; the mutex only
+// shields concurrent HTTP readers, never the compute hot path.
+type Registry struct {
+	mu      sync.Mutex
+	jm      JobMetrics
+	sources []pregel.FaultStatsProvider
+	sink    Sink
+}
+
+// Sink receives metrics events as they happen; the JSONL exporter
+// implements it. Calls arrive on the coordinator goroutine, already
+// serialized.
+type Sink interface {
+	JobStart(jm *JobMetrics)
+	Superstep(jm *JobMetrics, ss pregel.SuperstepStats)
+	JobEnd(jm *JobMetrics)
+}
+
+// NewRegistry creates a registry for one job run.
+func NewRegistry(jobID, algorithm string) *Registry {
+	return &Registry{jm: JobMetrics{JobID: jobID, Algorithm: algorithm}}
+}
+
+// SetSink installs an event sink (e.g. the JSONL exporter). Call
+// before the job starts.
+func (r *Registry) SetSink(s Sink) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.sink = s
+}
+
+// AddFaultSource registers a resilient storage layer whose counters
+// are snapshotted into /metrics while the job is still running —
+// chaos runs expose retries/fallbacks live, not only in the final
+// result. After JobFinished the engine's folded FaultStats wins.
+func (r *Registry) AddFaultSource(p pregel.FaultStatsProvider) {
+	if p == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.sources = append(r.sources, p)
+}
+
+// JobStarted implements pregel.JobListener.
+func (r *Registry) JobStarted(info pregel.JobInfo) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.jm.NumWorkers = info.NumWorkers
+	r.jm.NumVertices = info.NumVertices
+	r.jm.NumEdges = info.NumEdges
+	r.jm.Running = true
+	if r.sink != nil {
+		r.sink.JobStart(&r.jm)
+	}
+}
+
+// SuperstepStarted implements pregel.JobListener.
+func (r *Registry) SuperstepStarted(superstep int, info pregel.SuperstepInfo) {}
+
+// SuperstepFinished implements pregel.JobListener: it folds one
+// superstep's telemetry into the registry.
+func (r *Registry) SuperstepFinished(superstep int, ss pregel.SuperstepStats) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.jm.Supersteps = append(r.jm.Supersteps, ss)
+	r.jm.Totals.add(ss)
+	if r.sink != nil {
+		r.sink.Superstep(&r.jm, ss)
+	}
+}
+
+// JobFinished implements pregel.JobListener.
+func (r *Registry) JobFinished(stats *pregel.Stats, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.jm.Running = false
+	if stats != nil {
+		r.jm.Reason = stats.Reason.String()
+		r.jm.RuntimeNanos = stats.Runtime.Nanoseconds()
+		r.jm.RecoveryNanos = stats.RecoveryTime.Nanoseconds()
+		r.jm.Recoveries = stats.Recoveries
+		r.jm.Faults = stats.Faults
+	}
+	if err != nil {
+		r.jm.Error = err.Error()
+	}
+	if r.sink != nil {
+		r.sink.JobEnd(&r.jm)
+	}
+}
+
+// Snapshot returns a deep-enough copy of the current job metrics for
+// serving: the supersteps slice is copied so later appends do not race
+// with encoders, and while the job runs the fault counters are
+// refreshed from the registered sources.
+func (r *Registry) Snapshot() JobMetrics {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	snap := r.jm
+	snap.Supersteps = append([]pregel.SuperstepStats(nil), r.jm.Supersteps...)
+	if snap.Running {
+		var fs pregel.FaultStats
+		for _, p := range r.sources {
+			fs.Add(p.FaultStats())
+		}
+		snap.Faults = fs
+	}
+	return snap
+}
+
+// String summarizes the registry for logs.
+func (r *Registry) String() string {
+	snap := r.Snapshot()
+	return fmt.Sprintf("metrics[%s: supersteps=%d compute=%v barrier=%v capture=%v]",
+		snap.JobID, len(snap.Supersteps),
+		time.Duration(snap.Totals.ComputeNanos).Round(time.Microsecond),
+		time.Duration(snap.Totals.BarrierNanos).Round(time.Microsecond),
+		time.Duration(snap.Totals.CaptureNanos).Round(time.Microsecond))
+}

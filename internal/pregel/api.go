@@ -1,5 +1,7 @@
 package pregel
 
+import "time"
+
 // Computation is the vertex-centric program, Giraph's
 // Computation/vertex.compute(). Compute is called once per active
 // vertex per superstep. Inside Compute a vertex has access to exactly
@@ -156,9 +158,67 @@ type SuperstepInfo struct {
 	Aggregated map[string]Value
 }
 
-// SuperstepStats summarizes one finished superstep.
+// SuperstepStats summarizes one finished superstep. Beyond the BSP
+// accounting (active vertices, messages) it carries the telemetry the
+// engine folds from its per-worker collectors at the barrier: wall
+// times for the compute phase, barrier idling and trace capture, and
+// the straggler/skew indicators derived from them. Telemetry fields
+// are zero when Config.DisableMetrics is set.
 type SuperstepStats struct {
-	Superstep    int
-	ActiveAtEnd  int64
-	MessagesSent int64
+	Superstep    int   `json:"superstep"`
+	ActiveAtEnd  int64 `json:"active"`
+	MessagesSent int64 `json:"sent"`
+	// MessagesReceived counts messages delivered to vertices this
+	// superstep (sent during the previous one, after combining).
+	MessagesReceived int64 `json:"received"`
+	// MessagesCombined counts messages merged away by the combiner
+	// among those sent this superstep.
+	MessagesCombined int64 `json:"combined"`
+	// VerticesProcessed counts Compute invocations this superstep.
+	VerticesProcessed int64 `json:"vertices"`
+	// ComputeTime is the wall time of the worker phase: the time the
+	// slowest worker took from fan-out to barrier.
+	ComputeTime time.Duration `json:"compute_ns"`
+	// BarrierWait is the total idle time across workers: the sum over
+	// workers of (slowest worker's compute time - own compute time). It
+	// is the capacity lost to stragglers this superstep.
+	BarrierWait time.Duration `json:"barrier_ns"`
+	// CaptureTime is the total time workers spent inside Graft's trace
+	// capture instrumentation (zero for undebugged runs).
+	CaptureTime time.Duration `json:"capture_ns"`
+	// ComputeSkew is max/mean worker compute time (1.0 = perfectly
+	// balanced; values well above 1 indicate a straggler).
+	ComputeSkew float64 `json:"compute_skew"`
+	// MessageSkew is max/mean messages sent per worker.
+	MessageSkew float64 `json:"message_skew"`
+	// Straggler is the worker with the largest compute time this
+	// superstep, or -1 when telemetry is disabled.
+	Straggler int `json:"straggler"`
+	// Workers holds the per-worker breakdown, indexed by worker ID.
+	Workers []WorkerStepStats `json:"workers,omitempty"`
+}
+
+// WorkerStepStats is the telemetry of one worker during one superstep,
+// recorded by the worker itself without synchronization and folded by
+// the coordinator at the barrier.
+type WorkerStepStats struct {
+	Worker           int           `json:"worker"`
+	VerticesProcessed int64        `json:"vertices"`
+	MessagesSent     int64         `json:"sent"`
+	MessagesReceived int64         `json:"received"`
+	ComputeTime      time.Duration `json:"compute_ns"`
+	BarrierWait      time.Duration `json:"barrier_ns"`
+	CaptureTime      time.Duration `json:"capture_ns"`
+}
+
+// CaptureTimeReporter is implemented by instrumented computations
+// (internal/core) that account, per worker, the time spent capturing
+// debugger state. The engine samples it around each worker's compute
+// loop to attribute capture overhead in SuperstepStats; each worker
+// only reads its own slot, so implementations need no locking beyond
+// per-worker storage.
+type CaptureTimeReporter interface {
+	// CaptureNanos returns the cumulative nanoseconds worker w spent in
+	// capture instrumentation since the job started.
+	CaptureNanos(w int) int64
 }

@@ -53,10 +53,53 @@ type Stats struct {
 	// Faults aggregates storage-resilience counters: faults injected
 	// into the checkpoint/trace file systems and the retries, fallbacks
 	// and skipped checkpoints that absorbed them.
-	Faults  FaultStats
+	Faults FaultStats
+	// Runtime is the monotonic wall time of Job.Run: partitioning,
+	// every superstep, and checkpoint recovery.
 	Runtime time.Duration
+	// RecoveryTime is the portion of Runtime spent restoring
+	// checkpoints after simulated worker crashes.
+	RecoveryTime time.Duration
 	// PerSuperstep has one entry per executed superstep.
 	PerSuperstep []SuperstepStats
+}
+
+// String renders the one-line summary the CLI prints after a run.
+func (s *Stats) String() string {
+	line := fmt.Sprintf("supersteps=%d reason=%s messages=%d runtime=%v",
+		s.Supersteps, s.Reason, s.TotalMessages, s.Runtime.Round(time.Millisecond))
+	if s.MessagesDropped > 0 {
+		line += fmt.Sprintf(" msg-dropped=%d", s.MessagesDropped)
+	}
+	if s.Recoveries > 0 {
+		line += fmt.Sprintf(" recoveries=%d recovery-time=%v",
+			s.Recoveries, s.RecoveryTime.Round(time.Millisecond))
+	}
+	return line
+}
+
+// PhaseTotals sums the per-superstep telemetry into the job-level
+// compute / barrier / capture breakdown the observability layer and
+// graft-bench report.
+func (s *Stats) PhaseTotals() (compute, barrier, capture time.Duration) {
+	for _, ss := range s.PerSuperstep {
+		compute += ss.ComputeTime
+		barrier += ss.BarrierWait
+		capture += ss.CaptureTime
+	}
+	return compute, barrier, capture
+}
+
+// MaxComputeSkew returns the worst per-superstep compute skew of the
+// job (0 when telemetry was disabled or the job ran no supersteps).
+func (s *Stats) MaxComputeSkew() float64 {
+	var max float64
+	for _, ss := range s.PerSuperstep {
+		if ss.ComputeSkew > max {
+			max = ss.ComputeSkew
+		}
+	}
+	return max
 }
 
 // DefaultNumWorkers is used when Config.NumWorkers is zero.
@@ -100,6 +143,11 @@ type Config struct {
 	FailureAt func(superstep int) bool
 	// MaxRecoveries bounds recovery attempts (default 3).
 	MaxRecoveries int
+	// DisableMetrics turns off the per-worker superstep telemetry
+	// (compute/barrier/capture timings, skew indicators). Collection is
+	// a handful of clock reads per worker per superstep; the switch
+	// exists so graft-bench can measure exactly what it costs.
+	DisableMetrics bool
 }
 
 type aggEntry struct {
@@ -148,9 +196,12 @@ func (j *Job) RegisterAggregator(name string, agg Aggregator, persistent bool) {
 func (j *Job) Config() Config { return j.cfg }
 
 // Run executes the job to termination and returns its statistics.
+// Stats.Runtime is measured monotonically from here, so it covers
+// partitioning, every superstep and any checkpoint recovery.
 func (j *Job) Run() (*Stats, error) {
+	start := time.Now()
 	en := newEngine(j)
-	return en.run()
+	return en.run(start)
 }
 
 // partition is the set of vertices owned by one worker.
@@ -190,6 +241,14 @@ type workerResult struct {
 	aggPartial map[string]Value
 	removals   []VertexID
 	additions  []vertexAddition
+	// Telemetry, written only by the owning worker goroutine and read
+	// by the coordinator after the barrier — the lock-free per-worker
+	// collector the metrics layer folds from. Zero when
+	// Config.DisableMetrics is set.
+	vertices     int64
+	received     int64
+	computeNanos int64
+	captureNanos int64
 }
 
 type engine struct {
@@ -251,8 +310,7 @@ func (en *engine) cloneAggSnapshot() map[string]Value {
 	return m
 }
 
-func (en *engine) run() (*Stats, error) {
-	start := time.Now()
+func (en *engine) run(start time.Time) (*Stats, error) {
 	listener := en.cfg.Listener
 	nv, ne := en.totals()
 	if listener != nil {
@@ -318,6 +376,11 @@ func (en *engine) run() (*Stats, error) {
 		}
 
 		// Worker phase.
+		collect := !en.cfg.DisableMetrics
+		var phaseStart time.Time
+		if collect {
+			phaseStart = time.Now()
+		}
 		results := make([]workerResult, len(en.parts))
 		errs := make([]error, len(en.parts))
 		var wg sync.WaitGroup
@@ -329,6 +392,10 @@ func (en *engine) run() (*Stats, error) {
 			}(w)
 		}
 		wg.Wait()
+		var phaseWall time.Duration
+		if collect {
+			phaseWall = time.Since(phaseStart)
+		}
 		for _, err := range errs {
 			if err != nil {
 				return finish(err)
@@ -346,7 +413,11 @@ func (en *engine) run() (*Stats, error) {
 		en.stats.TotalMessages += sent
 		droppedNow := en.integrateMissing()
 		en.stats.MessagesDropped += droppedNow
-		ss := SuperstepStats{Superstep: en.superstep, ActiveAtEnd: active, MessagesSent: sent}
+		ss := SuperstepStats{Superstep: en.superstep, ActiveAtEnd: active, MessagesSent: sent, Straggler: -1}
+		ss.MessagesCombined = en.next.combinedTotal()
+		if collect {
+			en.foldTelemetry(&ss, results, phaseWall)
+		}
 		en.stats.PerSuperstep = append(en.stats.PerSuperstep, ss)
 		if listener != nil {
 			listener.SuperstepFinished(en.superstep, ss)
@@ -354,7 +425,10 @@ func (en *engine) run() (*Stats, error) {
 
 		// Simulated worker failure and checkpoint recovery.
 		if en.cfg.FailureAt != nil && en.cfg.FailureAt(en.superstep) {
-			if err := en.recoverFromCheckpoint(); err != nil {
+			recStart := time.Now()
+			err := en.recoverFromCheckpoint()
+			en.stats.RecoveryTime += time.Since(recStart)
+			if err != nil {
 				return finish(err)
 			}
 			continue
@@ -391,6 +465,17 @@ func (en *engine) safeMasterCompute(mctx *masterCtx) (err error) {
 func (en *engine) runWorker(w int, nv, ne int64) (workerResult, error) {
 	var res workerResult
 	part := en.parts[w]
+	collect := !en.cfg.DisableMetrics
+	var t0 time.Time
+	var capReporter CaptureTimeReporter
+	var capBefore int64
+	if collect {
+		t0 = time.Now()
+		if ctr, ok := en.job.comp.(CaptureTimeReporter); ok {
+			capReporter = ctr
+			capBefore = ctr.CaptureNanos(w)
+		}
+	}
 	ctx := &workerCtx{
 		en:          en,
 		worker:      w,
@@ -412,6 +497,8 @@ func (en *engine) runWorker(w int, nv, ne int64) (workerResult, error) {
 			}
 			v.halted = false
 		}
+		res.vertices++
+		res.received += int64(len(msgs))
 		if err := en.safeCompute(ctx, v, msgs); err != nil {
 			return res, err
 		}
@@ -424,7 +511,61 @@ func (en *engine) runWorker(w int, nv, ne int64) (workerResult, error) {
 	res.aggPartial = ctx.aggPartial
 	res.removals = ctx.removals
 	res.additions = ctx.additions
+	if collect {
+		res.computeNanos = time.Since(t0).Nanoseconds()
+		if capReporter != nil {
+			res.captureNanos = capReporter.CaptureNanos(w) - capBefore
+		}
+	}
 	return res, nil
+}
+
+// foldTelemetry folds the per-worker collectors into the superstep's
+// stats at the barrier: the coordinator is the only goroutine running,
+// so no synchronization is needed. Barrier wait per worker is the time
+// it idled for the slowest worker: phase wall time minus its own
+// compute time.
+func (en *engine) foldTelemetry(ss *SuperstepStats, results []workerResult, wall time.Duration) {
+	n := len(results)
+	ss.Workers = make([]WorkerStepStats, n)
+	ss.ComputeTime = wall
+	var maxCompute, sumCompute int64
+	var maxSent, sumSent int64
+	for w := range results {
+		r := &results[w]
+		ss.Workers[w] = WorkerStepStats{
+			Worker:            w,
+			VerticesProcessed: r.vertices,
+			MessagesSent:      r.sent,
+			MessagesReceived:  r.received,
+			ComputeTime:       time.Duration(r.computeNanos),
+			CaptureTime:       time.Duration(r.captureNanos),
+		}
+		ss.VerticesProcessed += r.vertices
+		ss.MessagesReceived += r.received
+		ss.CaptureTime += time.Duration(r.captureNanos)
+		if r.computeNanos > maxCompute {
+			maxCompute = r.computeNanos
+			ss.Straggler = w
+		}
+		sumCompute += r.computeNanos
+		if r.sent > maxSent {
+			maxSent = r.sent
+		}
+		sumSent += r.sent
+	}
+	for w := range ss.Workers {
+		if bw := wall - ss.Workers[w].ComputeTime; bw > 0 {
+			ss.Workers[w].BarrierWait = bw
+			ss.BarrierWait += bw
+		}
+	}
+	if sumCompute > 0 {
+		ss.ComputeSkew = float64(maxCompute) * float64(n) / float64(sumCompute)
+	}
+	if sumSent > 0 {
+		ss.MessageSkew = float64(maxSent) * float64(n) / float64(sumSent)
+	}
 }
 
 func (en *engine) safeCompute(ctx *workerCtx, v *Vertex, msgs []Value) (err error) {

@@ -12,20 +12,20 @@ import (
 // file system's. All counters are zero for a run on healthy storage.
 type FaultStats struct {
 	// Injected counts faults produced by a test injector.
-	Injected int64
+	Injected int64 `json:"injected"`
 	// Retries counts storage operations re-attempted after a transient
 	// failure.
-	Retries int64
+	Retries int64 `json:"retries"`
 	// Backoff is the total time spent sleeping between retries.
-	Backoff time.Duration
+	Backoff time.Duration `json:"backoff_ns"`
 	// Fallbacks counts files degraded onto a secondary file system.
-	Fallbacks int64
+	Fallbacks int64 `json:"fallbacks"`
 	// DroppedRecords counts trace records lost to persistent write
 	// failure (the job continued without them).
-	DroppedRecords int64
+	DroppedRecords int64 `json:"dropped_records"`
 	// CorruptCheckpoints counts checkpoints skipped during recovery
 	// because they were truncated or failed to decode.
-	CorruptCheckpoints int64
+	CorruptCheckpoints int64 `json:"corrupt_checkpoints"`
 }
 
 // Add folds o's counters into s.

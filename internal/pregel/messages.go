@@ -29,6 +29,9 @@ type msgShard struct {
 	c map[VertexID]Value
 	// n counts messages received (pre-combining), for stats.
 	n int64
+	// combined counts messages merged away by the combiner, for the
+	// telemetry layer (n - combined messages survive to delivery).
+	combined int64
 }
 
 func newMessageStore(numShards int, combiner Combiner) *messageStore {
@@ -52,6 +55,7 @@ func (s *messageStore) deliver(shard int, entries []msgEntry) {
 		for _, en := range entries {
 			if cur, ok := sh.c[en.to]; ok {
 				sh.c[en.to] = s.combiner.Combine(en.to, cur, en.msg)
+				sh.combined++
 			} else {
 				sh.c[en.to] = en.msg
 			}
@@ -112,6 +116,16 @@ func (s *messageStore) total() int64 {
 	var n int64
 	for i := range s.shards {
 		n += s.shards[i].n
+	}
+	return n
+}
+
+// combinedTotal returns how many messages the combiner merged away
+// across all shards.
+func (s *messageStore) combinedTotal() int64 {
+	var n int64
+	for i := range s.shards {
+		n += s.shards[i].combined
 	}
 	return n
 }

@@ -17,6 +17,7 @@ import (
 //	<root>/<jobID>/worker_NN.trace per-worker vertex captures
 //	<root>/<jobID>/master.trace    superstep metas + master captures
 //	<root>/<jobID>/job.done        JSON result, written at job end
+//	<root>/<jobID>/job.metrics     per-superstep telemetry (internal/metrics)
 type Store struct {
 	FS   dfs.FileSystem
 	Root string
@@ -32,6 +33,13 @@ func (s *Store) jobDir(jobID string) string {
 		return jobID
 	}
 	return s.Root + "/" + jobID
+}
+
+// MetricsPath returns the conventional location of a job's telemetry
+// file, written by the internal/metrics layer and rendered by the
+// GUI's metrics dashboard.
+func (s *Store) MetricsPath(jobID string) string {
+	return s.jobDir(jobID) + "/job.metrics"
 }
 
 // ListJobs returns the IDs of all jobs with a manifest, sorted.
