@@ -9,6 +9,7 @@
 //	graft-bench -fig 8 -scale 0.0005 -reps 5 -workers 8
 //	graft-bench -chaos -scale 0.0005 -workers 8 -seed 42
 //	graft-bench -metrics -scale 0.0005 -reps 5 -out BENCH_metrics.json
+//	graft-bench -capture -scale 0.0005 -reps 5 -out BENCH_capture.json
 package main
 
 import (
@@ -26,7 +27,8 @@ func main() {
 	fig := flag.Int("fig", 0, "run a paper figure (8, alias 7)")
 	chaos := flag.Bool("chaos", false, "run the workloads under deterministic storage-fault injection")
 	metricsBench := flag.Bool("metrics", false, "measure the telemetry layer's own overhead and phase breakdowns")
-	out := flag.String("out", "BENCH_metrics.json", "output file for the -metrics report")
+	captureBench := flag.Bool("capture", false, "compare the async capture pipeline against synchronous trace writes")
+	out := flag.String("out", "", "output file for the -metrics / -capture report (default BENCH_metrics.json / BENCH_capture.json)")
 	faultP := flag.Float64("fault-p", 0.3, "per-operation fault probability for -chaos")
 	scale := flag.Float64("scale", 0.0002, "dataset scale against paper sizes")
 	reps := flag.Int("reps", 5, "repetitions per cell (the paper used 5)")
@@ -72,6 +74,9 @@ func main() {
 		workloads := harness.StandardWorkloads(*scale, *seed, *workers)
 		configs := harness.StandardConfigs(*seed)
 		debug := configs[len(configs)-1] // DC-full: the worst-case capture load
+		if *out == "" {
+			*out = "BENCH_metrics.json"
+		}
 		fmt.Printf("Metrics overhead: telemetry on vs off, phase breakdown under %s (scale %g, %d reps, %d workers)\n",
 			debug.Name, *scale, *reps, *workers)
 		ms, err := harness.RunMetricsBench(workloads, debug, harness.Options{
@@ -99,6 +104,46 @@ func main() {
 				fmt.Println("overhead check: OK (telemetry costs < 5% on every workload)")
 			} else {
 				fmt.Println("overhead check deviations:")
+				for _, p := range problems {
+					fmt.Println("  -", p)
+				}
+			}
+		}
+	case *captureBench:
+		workloads := harness.StandardWorkloads(*scale, *seed, *workers)
+		// all-active maximizes the capture write load, which is the part
+		// of the debug cost the sync/async comparison is about.
+		debug := harness.AllActiveConfig()
+		if *out == "" {
+			*out = "BENCH_capture.json"
+		}
+		fmt.Printf("Capture pipeline: undebugged vs sync sink vs async pipeline under %s (scale %g, %d reps, %d workers, store latency %v/op)\n",
+			debug.Name, *scale, *reps, *workers, harness.CaptureStoreLatency)
+		cs, err := harness.RunCaptureBench(workloads, debug, harness.Options{
+			Reps: *reps, Seed: *seed, Progress: os.Stderr,
+		})
+		if err != nil {
+			log.Fatalf("graft-bench: %v", err)
+		}
+		fmt.Println()
+		harness.PrintCaptureBench(os.Stdout, cs)
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatalf("graft-bench: %v", err)
+		}
+		if err := harness.WriteCaptureBenchJSON(f, cs); err != nil {
+			log.Fatalf("graft-bench: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatalf("graft-bench: %v", err)
+		}
+		fmt.Printf("\nwrote %s\n", *out)
+		if *check {
+			problems := harness.CheckCaptureBench(cs)
+			if len(problems) == 0 {
+				fmt.Println("capture check: OK (async beats sync at equal capture counts; lazy lookups read <= 1 segment)")
+			} else {
+				fmt.Println("capture check deviations:")
 				for _, p := range problems {
 					fmt.Println("  -", p)
 				}

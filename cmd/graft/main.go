@@ -49,6 +49,8 @@ func main() {
 		err = cmdRepro(os.Args[2:])
 	case "diff":
 		err = cmdDiff(os.Args[2:])
+	case "trace-check":
+		err = cmdTraceCheck(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -60,12 +62,13 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: graft <run|jobs|show|repro|diff> [flags]
-run   executes an algorithm under the Graft debugger
-jobs  lists traced jobs
-show  dumps the captures of a job
-repro generates a context-reproduction Go test
-diff  compares the captures of two jobs (e.g. buggy vs fixed)`)
+	fmt.Fprintln(os.Stderr, `usage: graft <run|jobs|show|repro|diff|trace-check> [flags]
+run         executes an algorithm under the Graft debugger
+jobs        lists traced jobs
+show        dumps the captures of a job
+repro       generates a context-reproduction Go test
+diff        compares the captures of two jobs (e.g. buggy vs fixed)
+trace-check verifies a trace: lazy indexed reads vs the eager full load`)
 }
 
 func openStore(dir string) (*trace.Store, error) {
@@ -162,6 +165,10 @@ func cmdRun(args []string) error {
 	metricsLinger := fs.Duration("metrics-linger", 0, "keep the -metrics-addr server alive this long after the job ends")
 	pprofOn := fs.Bool("pprof", false, "also mount net/http/pprof on -metrics-addr")
 	noMetrics := fs.Bool("no-metrics", false, "disable per-superstep telemetry collection")
+	segmentSize := fs.Int("segment-size", trace.DefaultSegmentSize, "trace segment size in bytes before sealing")
+	backpressure := fs.String("backpressure", "block", "capture queue policy when full: block or drop")
+	queueCap := fs.Int("capture-queue", trace.DefaultQueueCapacity, "per-worker capture queue depth")
+	syncCapture := fs.Bool("sync-capture", false, "write trace records inline instead of through the async pipeline")
 	fs.Parse(args)
 
 	a, err := buildAlgorithm(*alg, *seed, *supersteps)
@@ -260,6 +267,22 @@ func cmdRun(args []string) error {
 	}
 	comp := a.Compute
 
+	traceOpts := []trace.Option{
+		trace.WithSegmentSize(*segmentSize),
+		trace.WithQueueCapacity(*queueCap),
+	}
+	switch *backpressure {
+	case "block":
+		traceOpts = append(traceOpts, trace.WithBackpressure(trace.Block))
+	case "drop":
+		traceOpts = append(traceOpts, trace.WithBackpressure(trace.Drop))
+	default:
+		return fmt.Errorf("run: -backpressure must be block or drop, got %q", *backpressure)
+	}
+	if *syncCapture {
+		traceOpts = append(traceOpts, trace.WithSynchronous())
+	}
+
 	var session *core.Graft
 	var store *trace.Store
 	if dc != nil {
@@ -272,6 +295,7 @@ func cmdRun(args []string) error {
 			Algorithm:   a.Name,
 			Description: fmt.Sprintf("dataset=%s scale=%g debug=%s", *dataset, *scale, *debug),
 			NumWorkers:  *workers,
+			Trace:       traceOpts,
 		}, g, *dc)
 		if err != nil {
 			return err
@@ -319,6 +343,9 @@ func cmdRun(args []string) error {
 	}
 	if session != nil {
 		fmt.Printf("captures: %d (limit hit: %v)\n", session.Captures(), session.LimitHit())
+		if n := session.DroppedRecords(); n > 0 {
+			fmt.Printf("capture pipeline dropped %d records under backpressure\n", n)
+		}
 	}
 	linger(*metricsAddr, *metricsLinger)
 	return nil
@@ -384,7 +411,7 @@ func cmdShow(args []string) error {
 	if err != nil {
 		return err
 	}
-	db, err := store.LoadDB(*jobID)
+	db, err := store.OpenReader(*jobID)
 	if err != nil {
 		return err
 	}
@@ -440,11 +467,11 @@ func cmdDiff(args []string) error {
 	if err != nil {
 		return err
 	}
-	dbA, err := store.LoadDB(*jobA)
+	dbA, err := store.OpenReader(*jobA)
 	if err != nil {
 		return err
 	}
-	dbB, err := store.LoadDB(*jobB)
+	dbB, err := store.OpenReader(*jobB)
 	if err != nil {
 		return err
 	}
@@ -496,7 +523,7 @@ func cmdRepro(args []string) error {
 	if err != nil {
 		return err
 	}
-	db, err := store.LoadDB(*jobID)
+	db, err := store.OpenReader(*jobID)
 	if err != nil {
 		return err
 	}
@@ -526,5 +553,85 @@ func cmdRepro(args []string) error {
 		return err
 	}
 	fmt.Print(code)
+	return nil
+}
+
+// cmdTraceCheck cross-checks the two read paths over one trace: the
+// lazy indexed Reader must serve exactly the view the eager LoadDB
+// builds, and a cold single-vertex lookup must touch at most one
+// segment per lane. CI runs this after the capture-smoke job.
+func cmdTraceCheck(args []string) error {
+	fs := flag.NewFlagSet("trace-check", flag.ExitOnError)
+	traceDir := fs.String("trace-dir", "graft-traces", "trace directory")
+	jobID := fs.String("job", "", "job ID")
+	fs.Parse(args)
+	if *jobID == "" {
+		return fmt.Errorf("trace-check: -job required")
+	}
+	store, err := openStore(*traceDir)
+	if err != nil {
+		return err
+	}
+	lazy, err := store.OpenReader(*jobID)
+	if err != nil {
+		return err
+	}
+	eager, err := store.LoadDB(*jobID)
+	if err != nil {
+		return err
+	}
+
+	if l, e := lazy.MaxSuperstep(), eager.MaxSuperstep(); l != e {
+		return fmt.Errorf("trace-check: max superstep: lazy=%d eager=%d", l, e)
+	}
+	if l, e := lazy.TotalCaptures(), eager.TotalCaptures(); l != e {
+		return fmt.Errorf("trace-check: total captures: lazy=%d eager=%d", l, e)
+	}
+	diff := trace.DiffJobs(lazy, eager)
+	if n := len(diff.OnlyA) + len(diff.OnlyB); n > 0 {
+		return fmt.Errorf("trace-check: %d vertices captured in only one view (lazy-only %v, eager-only %v)",
+			n, diff.OnlyA, diff.OnlyB)
+	}
+	if len(diff.StatusDiffs) > 0 {
+		return fmt.Errorf("trace-check: M/V/E status differs at supersteps %v", diff.StatusDiffs)
+	}
+	if len(diff.Divergences) > 0 {
+		d := diff.FirstDivergence()
+		return fmt.Errorf("trace-check: %d capture divergences between lazy and eager views; first at superstep %d vertex %d (%v)",
+			len(diff.Divergences), d.Superstep, d.ID, d.Fields)
+	}
+	if err := lazy.Err(); err != nil {
+		return fmt.Errorf("trace-check: lazy reader: %w", err)
+	}
+
+	// Cold lookup cost: reopen so the segment cache is empty, fetch one
+	// captured vertex, and count the segment files actually read.
+	ids := eager.CapturedVertexIDs()
+	steps := eager.Supersteps()
+	if len(ids) > 0 && len(steps) > 0 {
+		id, step := ids[len(ids)/2], -1
+		for _, s := range steps {
+			if eager.Capture(s, id) != nil {
+				step = s
+				break
+			}
+		}
+		if step >= 0 {
+			cold, err := store.OpenReader(*jobID)
+			if err != nil {
+				return err
+			}
+			if cold.Capture(step, id) == nil {
+				return fmt.Errorf("trace-check: cold lookup of vertex %d at superstep %d returned nothing", id, step)
+			}
+			if n := cold.SegmentReads(); n > 1 {
+				return fmt.Errorf("trace-check: cold single-vertex lookup read %d segments, want at most 1", n)
+			}
+			fmt.Printf("cold lookup: vertex %d @ superstep %d served from %d segment read(s)\n",
+				id, step, cold.SegmentReads())
+		}
+	}
+	fmt.Printf("trace-check ok: %s — %d supersteps, %d captures, lazy view matches eager load\n",
+		*jobID, len(steps), eager.TotalCaptures())
 	return nil
 }

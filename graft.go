@@ -8,9 +8,9 @@
 //  1. Capture — describe the vertices of interest in a DebugConfig and
 //     Run the job; Graft writes their full per-superstep contexts to
 //     per-worker trace files in a (simulated) distributed file system.
-//  2. Visualize — load the trace into a DB and step through it with
-//     the HTTP GUI (internal/gui via cmd/graft-gui), or query it
-//     programmatically.
+//  2. Visualize — open the trace with OpenTrace (lazy, index-driven)
+//     and step through it with the HTTP GUI (internal/gui via
+//     cmd/graft-gui), or query it programmatically.
 //  3. Reproduce — generate a standalone Go test that rebuilds the
 //     exact context of one vertex at one superstep and calls the
 //     user's Compute, for line-by-line debugging.
@@ -30,6 +30,7 @@ package graft
 
 import (
 	"fmt"
+	"time"
 
 	"graft/internal/algorithms"
 	"graft/internal/core"
@@ -70,8 +71,32 @@ type (
 	DebugConfig = core.DebugConfig
 	// Store lays trace files out in a file system.
 	Store = trace.Store
-	// TraceDB is the queryable index over one job's trace.
+	// TraceDB is the eager in-memory index over one job's trace.
+	// New code that only queries part of a trace should prefer
+	// TraceReader (Store.OpenReader), which satisfies the same
+	// TraceView interface without loading every segment.
 	TraceDB = trace.DB
+	// TraceView is the read API shared by the eager TraceDB and the
+	// lazy TraceReader: everything the GUI and the Context Reproducer
+	// need from a trace.
+	TraceView = trace.View
+	// TraceReader is the lazy, index-driven trace reader: it seeks
+	// through the segment index and reads only the segments a lookup
+	// touches.
+	TraceReader = trace.Reader
+	// TraceSink is the write side of the redesigned trace API: one
+	// RecordSink per worker plus one for the master, flushed at
+	// superstep barriers.
+	TraceSink = trace.Sink
+	// RecordSink accepts capture records for one lane (worker or
+	// master).
+	RecordSink = trace.RecordSink
+	// TraceOption configures a TraceSink (segment size, backpressure,
+	// queue capacity, synchronous mode).
+	TraceOption = trace.Option
+	// BackpressurePolicy selects what a full capture queue does:
+	// Block (lossless) or Drop (non-blocking, counted).
+	BackpressurePolicy = trace.BackpressurePolicy
 	// FileSystem is the storage abstraction traces live in.
 	FileSystem = dfs.FileSystem
 	// Algorithm bundles a computation with its master, combiner and
@@ -96,6 +121,36 @@ type (
 	// FallbackFS degrades files onto a secondary file system when the
 	// primary keeps failing.
 	FallbackFS = faults.FallbackFS
+)
+
+// Backpressure policies for the capture pipeline.
+const (
+	// Block makes a full capture queue block the compute goroutine
+	// until the writer drains: full fidelity, bounded memory.
+	Block = trace.Block
+	// Drop makes a full capture queue discard the record and count it
+	// in DroppedRecords: compute never stalls on trace I/O.
+	Drop = trace.Drop
+)
+
+// Capture-pipeline options, re-exported so callers configure sinks
+// without importing internal/trace.
+var (
+	// WithSegmentSize sets the byte threshold at which a trace segment
+	// is sealed and written out.
+	WithSegmentSize = trace.WithSegmentSize
+	// WithQueueCapacity sets the per-lane capture queue depth, in
+	// records.
+	WithQueueCapacity = trace.WithQueueCapacity
+	// WithBatchSize sets how many records a lane batches per handoff
+	// to its background writer.
+	WithBatchSize = trace.WithBatchSize
+	// WithBackpressure selects the full-queue policy (Block or Drop).
+	WithBackpressure = trace.WithBackpressure
+	// WithSynchronous disables the background writers: records are
+	// encoded and written inline, the legacy behavior. Mostly useful
+	// for benchmarking the async pipeline against its baseline.
+	WithSynchronous = trace.WithSynchronous
 )
 
 // Re-exported value constructors, so user computations and generated
@@ -123,7 +178,29 @@ func NewMemFS() *dfs.MemFS { return dfs.NewMemFS() }
 func NewLocalFS(dir string) (*dfs.LocalFS, error) { return dfs.NewLocalFS(dir) }
 
 // NewStore returns a trace store rooted at root within fs.
+//
+// Migration note: the historical pairing of NewStore with
+// Store.NewJobWriter on the write side and Store.LoadDB on the read
+// side is deprecated. Jobs now write through Store.NewSink (async,
+// segmented, indexed — what Run uses internally) and read through
+// Store.OpenReader / OpenTrace, which serve lookups from the segment
+// index instead of loading the whole trace. LoadDB remains as an
+// eager compatibility wrapper and understands both layouts.
 func NewStore(fs dfs.FileSystem, root string) *Store { return trace.NewStore(fs, root) }
+
+// OpenTrace opens a job's trace lazily: lookups go through the
+// segment index and read only the segments they touch. The returned
+// Reader implements TraceView, the same query surface as the eager
+// TraceDB.
+func OpenTrace(store *Store, jobID string) (*TraceReader, error) {
+	return store.OpenReader(jobID)
+}
+
+// NewLatencyFS wraps fs with a fixed per-operation delay, modeling a
+// remote store's round-trip cost (what the capture benchmark uses).
+func NewLatencyFS(fs dfs.FileSystem, delay time.Duration) dfs.FileSystem {
+	return dfs.NewLatencyFS(fs, delay)
+}
 
 // NewFaultFS wraps fs with a deterministic, seed-driven fault injector.
 func NewFaultFS(fs dfs.FileSystem, plan FaultPlan) *FaultFS { return faults.NewFaultFS(fs, plan) }
@@ -151,6 +228,10 @@ type RunOptions struct {
 	Debug *DebugConfig
 	// Store receives trace files; required when Debug is set.
 	Store *Store
+	// Trace configures the capture pipeline (segment size,
+	// backpressure policy, queue capacity, synchronous mode). The
+	// zero value is the async pipeline with blocking backpressure.
+	Trace []TraceOption
 	// Aggregators to register on the job.
 	Aggregators []AggregatorSpec
 }
@@ -192,6 +273,7 @@ func Run(g *Graph, comp Computation, opts RunOptions) (*RunResult, error) {
 			Algorithm:   opts.Algorithm,
 			Description: opts.Description,
 			NumWorkers:  cfg.NumWorkers,
+			Trace:       opts.Trace,
 		}, g, *opts.Debug)
 		if err != nil {
 			return nil, err

@@ -23,11 +23,15 @@ import (
 //	cfg.Master = g.InstrumentMaster(cfg.Master)
 //	cfg.Listener = g // or g.Chain(existing)
 type Graft struct {
-	cfg     DebugConfig
-	jobID   string
-	store   *trace.Store
-	jw      *trace.JobWriter
-	reasons map[pregel.VertexID]trace.Reason
+	cfg   DebugConfig
+	jobID string
+	store *trace.Store
+	sink  trace.Sink
+	// workerSinks/masterSink cache the per-lane handles so the capture
+	// hot path is one slice load away from the queue.
+	workerSinks []trace.RecordSink
+	masterSink  trace.RecordSink
+	reasons     map[pregel.VertexID]trace.Reason
 	// rcs holds one reusable recording context per worker: a worker
 	// executes its vertices sequentially, so per-compute-call state can
 	// be recycled instead of allocated, keeping the instrumentation
@@ -41,7 +45,6 @@ type Graft struct {
 
 	captures atomic.Int64
 	limitHit atomic.Bool
-	dropped  atomic.Int64 // trace records lost to storage failure
 
 	writeMu  sync.Mutex // serializes error recording only
 	writeErr error
@@ -60,6 +63,11 @@ type Options struct {
 	Description string
 	// NumWorkers must match the pregel.Config the job will run with.
 	NumWorkers int
+	// Trace configures the capture pipeline (trace.WithSegmentSize,
+	// trace.WithBackpressure, trace.WithQueueCapacity,
+	// trace.WithSynchronous). The default is the asynchronous pipeline
+	// with Block backpressure.
+	Trace []trace.Option
 }
 
 // Attach creates a Graft session: it validates the DebugConfig,
@@ -81,18 +89,23 @@ func Attach(store *trace.Store, opts Options, graph *pregel.Graph, cfg DebugConf
 		capNanos: make([]paddedNanos, opts.NumWorkers),
 		start:    time.Now(),
 	}
-	jw, err := store.NewJobWriter(trace.JobMeta{
+	sink, err := store.NewSink(trace.JobMeta{
 		JobID:       opts.JobID,
 		Algorithm:   opts.Algorithm,
 		Description: opts.Description,
 		NumWorkers:  opts.NumWorkers,
 		NumVertices: graph.NumVertices(),
 		NumEdges:    graph.NumEdges(),
-	})
+	}, opts.Trace...)
 	if err != nil {
 		return nil, err
 	}
-	g.jw = jw
+	g.sink = sink
+	g.workerSinks = make([]trace.RecordSink, opts.NumWorkers)
+	for i := range g.workerSinks {
+		g.workerSinks[i] = sink.WorkerSink(i)
+	}
+	g.masterSink = sink.MasterSink()
 	return g, nil
 }
 
@@ -171,18 +184,15 @@ func (g *Graft) recordWriteErr(err error) {
 	g.writeMu.Unlock()
 }
 
-// recordDropped notes one trace record that could not be written.
-// Trace loss degrades the capture but never aborts the debugged job —
-// the paper's stance, hardened: the drop is counted and surfaced in
-// job.done and Stats.Faults instead of being only a sticky error.
-func (g *Graft) recordDropped(err error) {
-	g.dropped.Add(1)
-	g.recordWriteErr(err)
-}
-
-// DroppedRecords returns how many trace records were lost to storage
-// failure.
-func (g *Graft) DroppedRecords() int64 { return g.dropped.Load() }
+// DroppedRecords returns how many trace records were discarded:
+// backpressure drops under the Drop policy plus segments lost to
+// storage failure. Trace loss degrades the capture but never aborts
+// the debugged job — the paper's stance. Dropped records are counted
+// here and in job.done; they are deliberately NOT folded into Err():
+// a drop is expected degradation, a write error is a structural
+// failure, and conflating the two (the old recordDropped double-count)
+// made every degraded run look broken.
+func (g *Graft) DroppedRecords() int64 { return g.sink.DroppedRecords() }
 
 // FaultStats returns the trace store's resilience counters (retries,
 // fallbacks, injected faults) plus the records this session dropped.
@@ -191,9 +201,23 @@ func (g *Graft) FaultStats() pregel.FaultStats {
 	if p, ok := g.store.FS.(pregel.FaultStatsProvider); ok {
 		s = p.FaultStats()
 	}
-	s.DroppedRecords += g.dropped.Load()
+	s.DroppedRecords += g.sink.DroppedRecords()
 	return s
 }
+
+// BarrierFlush implements pregel.BarrierFlusher: the engine calls it
+// at every superstep barrier to drain the capture queues and commit
+// the records of the finished superstep. Flush failures are recorded
+// but never abort the debugged job.
+func (g *Graft) BarrierFlush(superstep int) error {
+	if err := g.sink.BarrierFlush(superstep); err != nil {
+		g.recordWriteErr(err)
+	}
+	return nil
+}
+
+// CaptureQueueDepth implements pregel.CaptureQueueReporter.
+func (g *Graft) CaptureQueueDepth() int { return g.sink.QueueDepth() }
 
 // Chain makes Graft forward listener callbacks to next, so callers can
 // keep their own JobListener while debugging.
@@ -230,15 +254,14 @@ func (g *Graft) JobStarted(info pregel.JobInfo) {
 // vertex capture of the superstep shares.
 func (g *Graft) SuperstepStarted(superstep int, info pregel.SuperstepInfo) {
 	if g.cfg.observes(superstep) {
-		err := g.jw.Master().WriteSuperstepMeta(&trace.SuperstepMeta{
+		// Drop accounting for failed writes happens inside the sink;
+		// a synchronous-mode error is already counted there too.
+		_ = g.masterSink.WriteSuperstepMeta(&trace.SuperstepMeta{
 			Superstep:   superstep,
 			NumVertices: info.NumVertices,
 			NumEdges:    info.NumEdges,
 			Aggregated:  info.Aggregated,
 		})
-		if err != nil {
-			g.recordDropped(err)
-		}
 	}
 	if g.inner != nil {
 		g.inner.SuperstepStarted(superstep, info)
@@ -259,14 +282,17 @@ func (g *Graft) SuperstepFinished(superstep int, stats pregel.SuperstepStats) {
 func (g *Graft) JobFinished(stats *pregel.Stats, err error) {
 	// Close (commit) the trace files first: fallback decisions are made
 	// at commit time, and job.done must reflect them.
-	if cerr := g.jw.CloseFiles(); cerr != nil {
+	if cerr := g.sink.CloseFiles(); cerr != nil {
 		g.recordWriteErr(cerr)
+	}
+	if serr := g.sink.Err(); serr != nil {
+		g.recordWriteErr(serr)
 	}
 	res := trace.JobResult{
 		Captures:        g.captures.Load(),
 		CaptureLimitHit: g.limitHit.Load(),
 		RuntimeMillis:   time.Since(g.start).Milliseconds(),
-		DroppedRecords:  g.dropped.Load(),
+		DroppedRecords:  g.sink.DroppedRecords(),
 	}
 	if stats != nil {
 		res.Supersteps = stats.Supersteps
@@ -287,7 +313,7 @@ func (g *Graft) JobFinished(stats *pregel.Stats, err error) {
 	if stats != nil {
 		stats.Faults.Add(g.FaultStats())
 	}
-	if ferr := g.jw.Finish(res); ferr != nil {
+	if ferr := g.sink.Finish(res); ferr != nil {
 		g.recordWriteErr(ferr)
 	}
 	if g.inner != nil {
@@ -468,9 +494,9 @@ func (g *Graft) capture(ctx pregel.Context, v *pregel.Vertex, msgs []pregel.Valu
 	for i, m := range rec.outgoing {
 		c.Outgoing[i] = trace.OutMsg{To: m.To, Value: pregel.CloneValue(m.Value)}
 	}
-	if err := g.jw.Worker(ctx.WorkerID()).WriteVertexCapture(c); err != nil {
-		g.recordDropped(err)
-	}
+	// The sink owns drop accounting: Drop-policy discards and failed
+	// segment commits are counted there, without poisoning Err().
+	_ = g.workerSinks[ctx.WorkerID()].WriteVertexCapture(c)
 }
 
 func cloneEdges(edges []pregel.Edge) []pregel.Edge {

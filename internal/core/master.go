@@ -51,9 +51,7 @@ func (im *instrumentedMaster) Compute(ctx pregel.MasterContext) error {
 		Halted:           rec.halted,
 		Exception:        exc,
 	}
-	if werr := g.jw.Master().WriteMasterCapture(cap); werr != nil {
-		g.recordDropped(werr)
-	}
+	_ = g.masterSink.WriteMasterCapture(cap) // sink owns drop accounting
 	return err
 }
 

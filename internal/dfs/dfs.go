@@ -10,6 +10,9 @@
 //     namespace across concurrently writing workers, durability under
 //     single-node failure).
 //
+// LatencyFS wraps any of them with a fixed per-operation delay, for
+// experiments where the remote store's round-trip cost is the point.
+//
 // All implementations satisfy the same structural interface, which is
 // also declared (identically) as pregel.FileSystem.
 package dfs

@@ -1,0 +1,73 @@
+package dfs
+
+import (
+	"io"
+	"time"
+)
+
+// LatencyFS wraps a FileSystem and charges a fixed delay per
+// operation, modeling the network round trips of a remote store. MemFS
+// commits in nanoseconds, which makes trace-write cost invisible in
+// experiments; an HDFS-style store pays a round trip to the namenode
+// on create and another to commit on close, and that latency — not
+// CPU — is what asynchronous capture pipelines overlap with compute.
+//
+// One delay is charged at Create, writer Close, Open, List and Remove.
+// Byte transfer is left instant: the wrapper models round-trip count,
+// not bandwidth.
+type LatencyFS struct {
+	fs    FileSystem
+	delay time.Duration
+}
+
+// NewLatencyFS wraps fs so every operation costs delay.
+func NewLatencyFS(fs FileSystem, delay time.Duration) *LatencyFS {
+	return &LatencyFS{fs: fs, delay: delay}
+}
+
+func (l *LatencyFS) pause() {
+	if l.delay > 0 {
+		time.Sleep(l.delay)
+	}
+}
+
+// Create implements FileSystem: one delay to open the remote file, one
+// more when the returned writer commits on Close.
+func (l *LatencyFS) Create(path string) (io.WriteCloser, error) {
+	l.pause()
+	w, err := l.fs.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &latencyWriter{w: w, fs: l}, nil
+}
+
+// Open implements FileSystem.
+func (l *LatencyFS) Open(path string) (io.ReadCloser, error) {
+	l.pause()
+	return l.fs.Open(path)
+}
+
+// List implements FileSystem.
+func (l *LatencyFS) List(prefix string) ([]string, error) {
+	l.pause()
+	return l.fs.List(prefix)
+}
+
+// Remove implements FileSystem.
+func (l *LatencyFS) Remove(path string) error {
+	l.pause()
+	return l.fs.Remove(path)
+}
+
+type latencyWriter struct {
+	w  io.WriteCloser
+	fs *LatencyFS
+}
+
+func (w *latencyWriter) Write(p []byte) (int, error) { return w.w.Write(p) }
+
+func (w *latencyWriter) Close() error {
+	w.fs.pause()
+	return w.w.Close()
+}

@@ -26,8 +26,8 @@ func (s *counterStats) addRetry(d time.Duration) {
 	s.retries.Add(1)
 	s.backoffNS.Add(int64(d))
 }
-func (s *counterStats) addGiveUp()   { s.giveUps.Add(1) }
-func (s *counterStats) addFallback() { s.fallbacks.Add(1) }
+func (s *counterStats) addGiveUp()      { s.giveUps.Add(1) }
+func (s *counterStats) addFallback()    { s.fallbacks.Add(1) }
 func (s *counterStats) retriesN() int64 { return s.retries.Load() }
 
 func (s *counterStats) snapshot() pregel.FaultStats {

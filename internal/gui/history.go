@@ -33,7 +33,7 @@ var historyTmpl = template.Must(template.New("history").Parse(`
 <a class="reproduce" href="/job/{{.JobID}}/reproduce-suite?id={{.ID}}">Generate test suite for all supersteps</a>
 </p>`))
 
-func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request, db *trace.DB) {
+func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request, db trace.View) {
 	id, err := strconv.ParseInt(r.FormValue("id"), 10, 64)
 	if err != nil {
 		http.Error(w, "bad vertex id", http.StatusBadRequest)
@@ -62,7 +62,7 @@ func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request, db *trace
 		JobID string
 		ID    int64
 		Rows  []row
-	}{Nav: nav, JobID: db.Meta.JobID, ID: id}
+	}{Nav: nav, JobID: db.JobMeta().JobID, ID: id}
 	for _, c := range history {
 		active := "active"
 		if c.HaltedAfter {
@@ -87,5 +87,5 @@ func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request, db *trace
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
-	renderPage(w, fmt.Sprintf("%s — vertex %d history", db.Meta.JobID, id), body)
+	renderPage(w, fmt.Sprintf("%s — vertex %d history", db.JobMeta().JobID, id), body)
 }

@@ -56,6 +56,8 @@ type metricsStepRow struct {
 	Vertices, Active          int64
 	Sent, Combined, Received  int64
 	Compute, Barrier, Capture string
+	Flush                     string
+	QueueDepth                int
 	ComputeSkew, MessageSkew  string
 	Straggler                 string
 	Hot                       bool
@@ -99,6 +101,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			Vertices:  ss.VerticesProcessed, Active: ss.ActiveAtEnd,
 			Sent: ss.MessagesSent, Combined: ss.MessagesCombined, Received: ss.MessagesReceived,
 			Compute: ms(ss.ComputeTime), Barrier: ms(ss.BarrierWait), Capture: ms(ss.CaptureTime),
+			Flush:       ms(ss.FlushTime),
+			QueueDepth:  ss.CaptureQueueDepth,
 			ComputeSkew: fmt.Sprintf("%.2f", ss.ComputeSkew),
 			MessageSkew: fmt.Sprintf("%.2f", ss.MessageSkew),
 			Straggler:   straggler,
@@ -147,40 +151,44 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	overhead := jm.Totals.CaptureOverhead()
 	data := struct {
-		JobID, Algorithm, Status            string
-		Workers                             int
-		Runtime, Recovery                   string
-		ComputeTotal, BarrierTotal          string
-		CaptureTotal, CaptureOverhead       string
-		MaxComputeSkew, MaxMessageSkew      string
-		Sent, Combined, Received, Vertices  int64
-		Recoveries                          int
-		Faults                              string
-		HasFaults                           bool
-		ComputeSpark, SentSpark, SkewSpark  template.HTML
-		Rows                                []metricsStepRow
-		SelectedSuperstep                   int
-		WorkerRows                          []metricsWorkerRow
+		JobID, Algorithm, Status           string
+		Workers                            int
+		Runtime, Recovery                  string
+		ComputeTotal, BarrierTotal         string
+		CaptureTotal, CaptureOverhead      string
+		FlushTotal                         string
+		MaxCaptureQueue                    int
+		MaxComputeSkew, MaxMessageSkew     string
+		Sent, Combined, Received, Vertices int64
+		Recoveries                         int
+		Faults                             string
+		HasFaults                          bool
+		ComputeSpark, SentSpark, SkewSpark template.HTML
+		Rows                               []metricsStepRow
+		SelectedSuperstep                  int
+		WorkerRows                         []metricsWorkerRow
 	}{
 		JobID: jm.JobID, Algorithm: jm.Algorithm, Status: status,
-		Workers:  jm.NumWorkers,
-		Runtime:  ms(time.Duration(jm.RuntimeNanos)) + " ms",
-		Recovery: ms(time.Duration(jm.RecoveryNanos)) + " ms",
+		Workers:         jm.NumWorkers,
+		Runtime:         ms(time.Duration(jm.RuntimeNanos)) + " ms",
+		Recovery:        ms(time.Duration(jm.RecoveryNanos)) + " ms",
 		ComputeTotal:    ms(time.Duration(jm.Totals.ComputeNanos)) + " ms",
 		BarrierTotal:    ms(time.Duration(jm.Totals.BarrierNanos)) + " ms",
 		CaptureTotal:    ms(time.Duration(jm.Totals.CaptureNanos)) + " ms",
 		CaptureOverhead: fmt.Sprintf("%.2f%%", overhead*100),
+		FlushTotal:      ms(time.Duration(jm.Totals.FlushNanos)) + " ms",
+		MaxCaptureQueue: jm.Totals.MaxCaptureQueueDepth,
 		MaxComputeSkew:  fmt.Sprintf("%.2f", jm.Totals.MaxComputeSkew),
 		MaxMessageSkew:  fmt.Sprintf("%.2f", jm.Totals.MaxMessageSkew),
-		Sent: jm.Totals.MessagesSent, Combined: jm.Totals.MessagesCombined,
+		Sent:            jm.Totals.MessagesSent, Combined: jm.Totals.MessagesCombined,
 		Received: jm.Totals.MessagesReceived, Vertices: jm.Totals.VerticesProcessed,
-		Recoveries: jm.Recoveries,
-		Faults:     jm.Faults.String(),
-		HasFaults:  jm.Faults.Any() || jm.Recoveries > 0,
-		ComputeSpark: sparklineSVG(computeMs, 260, 48, "#246"),
-		SentSpark:    sparklineSVG(sentVals, 260, 48, "#2a2"),
-		SkewSpark:    sparklineSVG(skewVals, 260, 48, "#c33"),
-		Rows:         rows,
+		Recoveries:        jm.Recoveries,
+		Faults:            jm.Faults.String(),
+		HasFaults:         jm.Faults.Any() || jm.Recoveries > 0,
+		ComputeSpark:      sparklineSVG(computeMs, 260, 48, "#246"),
+		SentSpark:         sparklineSVG(sentVals, 260, 48, "#2a2"),
+		SkewSpark:         sparklineSVG(skewVals, 260, 48, "#c33"),
+		Rows:              rows,
 		SelectedSuperstep: sel,
 		WorkerRows:        workerRows,
 	}

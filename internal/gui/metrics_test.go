@@ -54,11 +54,11 @@ func TestMetricsDashboardRendersPersistedJob(t *testing.T) {
 		t.Fatalf("GET /job/demo/metrics = %d\n%s", code, body)
 	}
 	for _, want := range []string{
-		"Supersteps",              // per-superstep table
-		"<svg",                    // sparklines
-		"Workers at superstep",    // per-worker drill-down
-		"straggler",               // flagged straggler marker
-		"Compute skew",            // skew column
+		"Supersteps",           // per-superstep table
+		"<svg",                 // sparklines
+		"Workers at superstep", // per-worker drill-down
+		"straggler",            // flagged straggler marker
+		"Compute skew",         // skew column
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("dashboard missing %q", want)

@@ -53,7 +53,7 @@ cluster execution.</p>
 </table>
 {{end}}`))
 
-func (s *Server) handleReplayCheck(w http.ResponseWriter, r *http.Request, db *trace.DB) {
+func (s *Server) handleReplayCheck(w http.ResponseWriter, r *http.Request, db trace.View) {
 	superstep := superstepOf(r, db)
 	nav, err := navHTML(db, superstep)
 	if err != nil {
@@ -74,9 +74,9 @@ func (s *Server) handleReplayCheck(w http.ResponseWriter, r *http.Request, db *t
 		OKCount   int
 		Total     int
 		Rows      []row
-	}{Nav: nav, JobID: db.Meta.JobID, Algorithm: db.Meta.Algorithm, Superstep: superstep}
+	}{Nav: nav, JobID: db.JobMeta().JobID, Algorithm: db.JobMeta().Algorithm, Superstep: superstep}
 
-	comp := s.computationFor(db.Meta.Algorithm)
+	comp := s.computationFor(db.JobMeta().Algorithm)
 	if comp != nil {
 		data.Available = true
 		meta := db.MetaAt(superstep)
@@ -99,5 +99,5 @@ func (s *Server) handleReplayCheck(w http.ResponseWriter, r *http.Request, db *t
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
-	renderPage(w, fmt.Sprintf("%s — replay check @ superstep %d", db.Meta.JobID, superstep), body)
+	renderPage(w, fmt.Sprintf("%s — replay check @ superstep %d", db.JobMeta().JobID, superstep), body)
 }

@@ -27,7 +27,7 @@ type Server struct {
 	store *trace.Store
 
 	mu         sync.Mutex
-	dbs        map[string]*trace.DB
+	views      map[string]trace.View
 	offline    map[string]*pregel.Graph
 	specs      map[string]repro.GenSpec
 	comps      map[string]pregel.Computation
@@ -38,7 +38,7 @@ type Server struct {
 func NewServer(store *trace.Store) *Server {
 	return &Server{
 		store:   store,
-		dbs:     map[string]*trace.DB{},
+		views:   map[string]trace.View{},
 		offline: map[string]*pregel.Graph{},
 		specs:   map[string]repro.GenSpec{},
 		comps:   map[string]pregel.Computation{},
@@ -61,26 +61,28 @@ func (s *Server) specFor(algorithm string) repro.GenSpec {
 	return s.specs[algorithm]
 }
 
-// db loads (and caches) a job's trace DB.
-func (s *Server) db(jobID string) (*trace.DB, error) {
+// db opens (and caches) a job's trace view. Segmented traces come
+// back as a lazy trace.Reader that fetches only the segments a page
+// touches; legacy traces are loaded eagerly via LoadDB.
+func (s *Server) db(jobID string) (trace.View, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if db, ok := s.dbs[jobID]; ok {
-		return db, nil
+	if v, ok := s.views[jobID]; ok {
+		return v, nil
 	}
-	db, err := s.store.LoadDB(jobID)
+	v, err := s.store.OpenReader(jobID)
 	if err != nil {
 		return nil, err
 	}
-	s.dbs[jobID] = db
-	return db, nil
+	s.views[jobID] = v
+	return v, nil
 }
 
-// InvalidateCache drops cached trace DBs so re-run jobs reload.
+// InvalidateCache drops cached trace views so re-run jobs reload.
 func (s *Server) InvalidateCache() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.dbs = map[string]*trace.DB{}
+	s.views = map[string]trace.View{}
 }
 
 // Handler returns the GUI's routing handler.
@@ -127,7 +129,7 @@ func (s *Server) Handler() http.Handler {
 }
 
 // jobView adapts a handler that needs a loaded trace DB.
-func (s *Server) jobView(h func(http.ResponseWriter, *http.Request, *trace.DB)) http.HandlerFunc {
+func (s *Server) jobView(h func(http.ResponseWriter, *http.Request, trace.View)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		db, err := s.db(r.PathValue("id"))
 		if err != nil {
@@ -155,7 +157,7 @@ func renderSub(t *template.Template, data any) (template.HTML, error) {
 }
 
 // superstepOf parses ?superstep, clamped to the trace's range.
-func superstepOf(r *http.Request, db *trace.DB) int {
+func superstepOf(r *http.Request, db trace.View) int {
 	max := db.MaxSuperstep()
 	n, err := strconv.Atoi(r.FormValue("superstep"))
 	if err != nil {
@@ -174,7 +176,7 @@ type aggRow struct{ Name, Value string }
 
 // navHTML renders the shared superstep navigation bar with the M/V/E
 // status boxes and the aggregator panel.
-func navHTML(db *trace.DB, superstep int) (template.HTML, error) {
+func navHTML(db trace.View, superstep int) (template.HTML, error) {
 	meta := db.MetaAt(superstep)
 	var aggs []aggRow
 	var nv, ne int64
@@ -212,7 +214,7 @@ func navHTML(db *trace.DB, superstep int) (template.HTML, error) {
 		NumEdges         int64
 		Aggregators      []aggRow
 	}{
-		JobID:     db.Meta.JobID,
+		JobID:     db.JobMeta().JobID,
 		Superstep: superstep,
 		Max:       db.MaxSuperstep(),
 		Prev:      prev, Next: next,
@@ -268,7 +270,7 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 
 // --- Node-link view (Figure 3) ---
 
-func (s *Server) handleNodeLink(w http.ResponseWriter, r *http.Request, db *trace.DB) {
+func (s *Server) handleNodeLink(w http.ResponseWriter, r *http.Request, db trace.View) {
 	superstep := superstepOf(r, db)
 	nav, err := navHTML(db, superstep)
 	if err != nil {
@@ -284,7 +286,7 @@ func (s *Server) handleNodeLink(w http.ResponseWriter, r *http.Request, db *trac
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
-	renderPage(w, fmt.Sprintf("%s — node-link view", db.Meta.JobID), body)
+	renderPage(w, fmt.Sprintf("%s — node-link view", db.JobMeta().JobID), body)
 }
 
 // --- Tabular view (Figure 4) ---
@@ -297,7 +299,7 @@ type tabRow struct {
 	Reasons       string
 }
 
-func (s *Server) handleTabular(w http.ResponseWriter, r *http.Request, db *trace.DB) {
+func (s *Server) handleTabular(w http.ResponseWriter, r *http.Request, db trace.View) {
 	superstep := superstepOf(r, db)
 	nav, err := navHTML(db, superstep)
 	if err != nil {
@@ -341,19 +343,19 @@ func (s *Server) handleTabular(w http.ResponseWriter, r *http.Request, db *trace
 		Superstep                            int
 		QVertex, QNeighbor, QValue, QMessage string
 		Rows                                 []tabRow
-	}{nav, db.Meta.JobID, superstep,
+	}{nav, db.JobMeta().JobID, superstep,
 		r.FormValue("vertex"), r.FormValue("neighbor"),
 		r.FormValue("value"), r.FormValue("message"), rows})
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
-	renderPage(w, fmt.Sprintf("%s — tabular view", db.Meta.JobID), body)
+	renderPage(w, fmt.Sprintf("%s — tabular view", db.JobMeta().JobID), body)
 }
 
 // --- Violations and Exceptions view (Figure 5) ---
 
-func (s *Server) handleViolations(w http.ResponseWriter, r *http.Request, db *trace.DB) {
+func (s *Server) handleViolations(w http.ResponseWriter, r *http.Request, db trace.View) {
 	superstep := superstepOf(r, db)
 	all := r.FormValue("all") != ""
 	nav, err := navHTML(db, superstep)
@@ -372,17 +374,17 @@ func (s *Server) handleViolations(w http.ResponseWriter, r *http.Request, db *tr
 		JobID         string
 		AllSupersteps bool
 		Rows          []trace.ViolationRow
-	}{nav, db.Meta.JobID, all, rows})
+	}{nav, db.JobMeta().JobID, all, rows})
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
-	renderPage(w, fmt.Sprintf("%s — violations & exceptions", db.Meta.JobID), body)
+	renderPage(w, fmt.Sprintf("%s — violations & exceptions", db.JobMeta().JobID), body)
 }
 
 // --- Vertex context detail ---
 
-func (s *Server) handleVertex(w http.ResponseWriter, r *http.Request, db *trace.DB) {
+func (s *Server) handleVertex(w http.ResponseWriter, r *http.Request, db trace.View) {
 	superstep := superstepOf(r, db)
 	id, err := strconv.ParseInt(r.FormValue("id"), 10, 64)
 	if err != nil {
@@ -426,7 +428,7 @@ func (s *Server) handleVertex(w http.ResponseWriter, r *http.Request, db *trace.
 		Outgoing                     []outRow
 		Violations                   []violRow
 	}{
-		Nav: nav, JobID: db.Meta.JobID, ID: c.ID, Superstep: superstep,
+		Nav: nav, JobID: db.JobMeta().JobID, ID: c.ID, Superstep: superstep,
 		PrevSuperstep: superstep - 1, NextSuperstep: superstep + 1,
 		Reasons: c.Reasons.String(),
 		Before:  pregel.ValueString(c.ValueBefore),
@@ -453,12 +455,12 @@ func (s *Server) handleVertex(w http.ResponseWriter, r *http.Request, db *trace.
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
-	renderPage(w, fmt.Sprintf("%s — vertex %d @ superstep %d", db.Meta.JobID, id, superstep), body)
+	renderPage(w, fmt.Sprintf("%s — vertex %d @ superstep %d", db.JobMeta().JobID, id, superstep), body)
 }
 
 // --- Master view ---
 
-func (s *Server) handleMaster(w http.ResponseWriter, r *http.Request, db *trace.DB) {
+func (s *Server) handleMaster(w http.ResponseWriter, r *http.Request, db trace.View) {
 	superstep := superstepOf(r, db)
 	nav, err := navHTML(db, superstep)
 	if err != nil {
@@ -474,7 +476,7 @@ func (s *Server) handleMaster(w http.ResponseWriter, r *http.Request, db *trace.
 		Exception, Stack string
 		Aggs             []masterAggRow
 		Sets             []aggRow
-	}{Nav: nav, JobID: db.Meta.JobID, Superstep: superstep}
+	}{Nav: nav, JobID: db.JobMeta().JobID, Superstep: superstep}
 	if mc := db.MasterAt(superstep); mc != nil {
 		data.Present = true
 		data.Halted = mc.Halted
@@ -502,19 +504,19 @@ func (s *Server) handleMaster(w http.ResponseWriter, r *http.Request, db *trace.
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
-	renderPage(w, fmt.Sprintf("%s — master @ superstep %d", db.Meta.JobID, superstep), body)
+	renderPage(w, fmt.Sprintf("%s — master @ superstep %d", db.JobMeta().JobID, superstep), body)
 }
 
 // --- Reproduce Context buttons ---
 
-func (s *Server) handleReproduce(w http.ResponseWriter, r *http.Request, db *trace.DB) {
+func (s *Server) handleReproduce(w http.ResponseWriter, r *http.Request, db trace.View) {
 	superstep := superstepOf(r, db)
 	id, err := strconv.ParseInt(r.FormValue("id"), 10, 64)
 	if err != nil {
 		http.Error(w, "bad vertex id", http.StatusBadRequest)
 		return
 	}
-	code, err := repro.GenerateVertexTest(db, superstep, pregel.VertexID(id), s.specFor(db.Meta.Algorithm))
+	code, err := repro.GenerateVertexTest(db, superstep, pregel.VertexID(id), s.specFor(db.JobMeta().Algorithm))
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusNotFound)
 		return
@@ -525,13 +527,13 @@ func (s *Server) handleReproduce(w http.ResponseWriter, r *http.Request, db *tra
 
 // handleReproduceSuite emits one test per captured superstep of a
 // vertex (the §7 unit-testing extension).
-func (s *Server) handleReproduceSuite(w http.ResponseWriter, r *http.Request, db *trace.DB) {
+func (s *Server) handleReproduceSuite(w http.ResponseWriter, r *http.Request, db trace.View) {
 	id, err := strconv.ParseInt(r.FormValue("id"), 10, 64)
 	if err != nil {
 		http.Error(w, "bad vertex id", http.StatusBadRequest)
 		return
 	}
-	code, err := repro.GenerateVertexSuite(db, pregel.VertexID(id), s.specFor(db.Meta.Algorithm))
+	code, err := repro.GenerateVertexSuite(db, pregel.VertexID(id), s.specFor(db.JobMeta().Algorithm))
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusNotFound)
 		return
@@ -540,9 +542,9 @@ func (s *Server) handleReproduceSuite(w http.ResponseWriter, r *http.Request, db
 	fmt.Fprint(w, code)
 }
 
-func (s *Server) handleReproduceMaster(w http.ResponseWriter, r *http.Request, db *trace.DB) {
+func (s *Server) handleReproduceMaster(w http.ResponseWriter, r *http.Request, db trace.View) {
 	superstep := superstepOf(r, db)
-	code, err := repro.GenerateMasterTest(db, superstep, s.specFor(db.Meta.Algorithm))
+	code, err := repro.GenerateMasterTest(db, superstep, s.specFor(db.JobMeta().Algorithm))
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusNotFound)
 		return
@@ -567,7 +569,7 @@ func (s *Server) apiJobs(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, ids)
 }
 
-func (s *Server) apiSupersteps(w http.ResponseWriter, r *http.Request, db *trace.DB) {
+func (s *Server) apiSupersteps(w http.ResponseWriter, r *http.Request, db trace.View) {
 	writeJSON(w, db.Supersteps())
 }
 
@@ -582,7 +584,7 @@ type apiCaptureRow struct {
 	HasError bool   `json:"has_exception"`
 }
 
-func (s *Server) apiSuperstep(w http.ResponseWriter, r *http.Request, db *trace.DB) {
+func (s *Server) apiSuperstep(w http.ResponseWriter, r *http.Request, db trace.View) {
 	n, err := strconv.Atoi(r.PathValue("n"))
 	if err != nil {
 		http.Error(w, "bad superstep", http.StatusBadRequest)
@@ -622,7 +624,7 @@ func (s *Server) apiSuperstep(w http.ResponseWriter, r *http.Request, db *trace.
 	})
 }
 
-func (s *Server) apiSearch(w http.ResponseWriter, r *http.Request, db *trace.DB) {
+func (s *Server) apiSearch(w http.ResponseWriter, r *http.Request, db trace.View) {
 	q := trace.Query{Superstep: -1}
 	if v := r.FormValue("superstep"); v != "" {
 		if n, err := strconv.Atoi(v); err == nil {

@@ -19,7 +19,7 @@ const maxNodeLinkNodes = 48
 
 // RenderNodeLink exposes the node-link diagram for embedding and
 // benchmarks.
-func RenderNodeLink(db *trace.DB, superstep int) template.HTML {
+func RenderNodeLink(db trace.View, superstep int) template.HTML {
 	return nodeLinkSVG(db, superstep)
 }
 
@@ -27,7 +27,7 @@ func RenderNodeLink(db *trace.DB, superstep int) template.HTML {
 // vertices as large labelled circles (dimmed when halted), uncaptured
 // neighbors as small ID-only circles, and links for the edges between
 // drawn nodes, with edge values when present.
-func nodeLinkSVG(db *trace.DB, superstep int) template.HTML {
+func nodeLinkSVG(db trace.View, superstep int) template.HTML {
 	captures := db.CapturesAt(superstep)
 	truncated := false
 	if len(captures) > maxNodeLinkNodes {
@@ -113,7 +113,7 @@ func nodeLinkSVG(db *trace.DB, superstep int) template.HTML {
 			stroke = "#c33"
 		}
 		fmt.Fprintf(&b, `<a href="/job/%s/vertex?superstep=%d&amp;id=%d"><g opacity="%.2f">`,
-			template.URLQueryEscaper(db.Meta.JobID), superstep, int64(c.ID), opacity)
+			template.URLQueryEscaper(db.JobMeta().JobID), superstep, int64(c.ID), opacity)
 		fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="26" fill="%s" stroke="%s" stroke-width="2"/>`,
 			p.x, p.y, fill, stroke)
 		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="11" text-anchor="middle" font-weight="bold">%d</text>`,

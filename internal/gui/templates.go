@@ -174,6 +174,8 @@ indicators (max/mean ratios; a superstep is flagged when a worker runs
 <tr><th>Compute</th><td>{{.ComputeTotal}}</td><th>Barrier</th><td>{{.BarrierTotal}}</td>
 <th>Capture</th><td>{{.CaptureTotal}} ({{.CaptureOverhead}} of compute)</td>
 <th>Recovery</th><td>{{.Recovery}}</td></tr>
+<tr><th>Trace flush</th><td>{{.FlushTotal}}</td>
+<th>Max capture queue</th><td>{{.MaxCaptureQueue}}</td><th></th><td></td><th></th><td></td></tr>
 <tr><th>Vertices processed</th><td>{{.Vertices}}</td><th>Msgs sent</th><td>{{.Sent}}</td>
 <th>combined / received</th><td>{{.Combined}} / {{.Received}}</td>
 <th>Max skew (compute / msg)</th><td>{{.MaxComputeSkew}} / {{.MaxMessageSkew}}</td></tr>
@@ -189,12 +191,14 @@ indicators (max/mean ratios; a superstep is flagged when a worker runs
 <table>
 <tr><th>Superstep</th><th>Vertices</th><th>Active after</th><th>Sent</th><th>Combined</th>
 <th>Received</th><th>Compute (ms)</th><th>Barrier (ms)</th><th>Capture (ms)</th>
+<th>Flush (ms)</th><th>Queue</th>
 <th>Compute skew</th><th>Msg skew</th><th>Straggler</th></tr>
 {{range .Rows}}
 <tr{{if .Hot}} style="background:#fee"{{end}}>
 <td><a href="?superstep={{.Superstep}}">{{.Superstep}}</a></td>
 <td>{{.Vertices}}</td><td>{{.Active}}</td><td>{{.Sent}}</td><td>{{.Combined}}</td>
 <td>{{.Received}}</td><td>{{.Compute}}</td><td>{{.Barrier}}</td><td>{{.Capture}}</td>
+<td>{{.Flush}}</td><td>{{.QueueDepth}}</td>
 <td>{{.ComputeSkew}}</td><td>{{.MessageSkew}}</td><td>{{.Straggler}}</td>
 </tr>
 {{end}}

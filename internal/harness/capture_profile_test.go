@@ -1,0 +1,52 @@
+package harness
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"graft/internal/trace"
+)
+
+// TestCaptureProfile is a profiling helper, not a test: run with
+// CAPTURE_PROFILE=sync|async and -cpuprofile to see where one GC-bp
+// capture repetition spends its time.
+func TestCaptureProfile(t *testing.T) {
+	mode := os.Getenv("CAPTURE_PROFILE")
+	if mode == "" {
+		t.Skip("profiling helper; set CAPTURE_PROFILE=sync|async|pairs")
+	}
+	wl := StandardWorkloads(0.0002, 42, 4)[0]
+	base := wl.Dataset.Build()
+	syncOpts := []trace.Option{trace.WithSynchronous()}
+	if mode == "pairs" {
+		for rep := 0; rep < 4; rep++ {
+			s, err := captureRun(wl, base, AllActiveConfig(), syncOpts, rep, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			a, err := captureRun(wl, base, AllActiveConfig(), nil, rep, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("pair %d: sync=%v async=%v diff=%v", rep, s.elapsed, a.elapsed, a.elapsed-s.elapsed)
+		}
+		return
+	}
+	var opts []trace.Option
+	if mode == "sync" {
+		opts = syncOpts
+	}
+	res, err := captureRun(wl, base, AllActiveConfig(), opts, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var flush, capture, barrier time.Duration
+	for _, ss := range res.stats.PerSuperstep {
+		flush += ss.FlushTime
+		capture += ss.CaptureTime
+		barrier += ss.BarrierWait
+	}
+	t.Logf("%s: elapsed=%v captures=%d supersteps=%d flush=%v capture=%v barrier=%v",
+		mode, res.elapsed, res.captures, len(res.stats.PerSuperstep), flush, capture, barrier)
+}

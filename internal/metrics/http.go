@@ -37,6 +37,8 @@ func (r *Registry) ServeVars(w http.ResponseWriter, req *http.Request) {
 		"graft.barrier_ns":          snap.Totals.BarrierNanos,
 		"graft.capture_ns":          snap.Totals.CaptureNanos,
 		"graft.capture_overhead":    snap.Totals.CaptureOverhead(),
+		"graft.flush_ns":            snap.Totals.FlushNanos,
+		"graft.max_capture_queue":   snap.Totals.MaxCaptureQueueDepth,
 		"graft.max_compute_skew":    snap.Totals.MaxComputeSkew,
 		"graft.max_message_skew":    snap.Totals.MaxMessageSkew,
 		"graft.recoveries":          snap.Recoveries,

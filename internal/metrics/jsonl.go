@@ -137,6 +137,7 @@ func (s *JSONLSink) Err() error {
 var volatileKeys = map[string]bool{
 	"compute_ns": true, "barrier_ns": true, "capture_ns": true,
 	"runtime_ns": true, "recovery_ns": true, "backoff_ns": true,
+	"flush_ns": true, "capture_queue": true, "max_capture_queue": true,
 	"compute_skew": true, "message_skew": true, "straggler": true,
 	"max_compute_skew": true, "max_message_skew": true,
 }

@@ -43,6 +43,13 @@ type Totals struct {
 	BarrierNanos int64 `json:"barrier_ns"`
 	// CaptureNanos sums time spent inside Graft's trace capture.
 	CaptureNanos int64 `json:"capture_ns"`
+	// FlushNanos sums the coordinator time spent draining the capture
+	// pipeline at superstep barriers (zero for undebugged runs and for
+	// synchronous sinks, where writes happen inline).
+	FlushNanos int64 `json:"flush_ns,omitempty"`
+	// MaxCaptureQueueDepth is the deepest the capture pipeline's queues
+	// got at any barrier: how far trace writing lagged compute.
+	MaxCaptureQueueDepth int `json:"max_capture_queue,omitempty"`
 	// MaxComputeSkew is the worst per-superstep max/mean compute ratio.
 	MaxComputeSkew float64 `json:"max_compute_skew"`
 	// MaxMessageSkew is the worst per-superstep message imbalance.
@@ -58,6 +65,10 @@ func (t *Totals) add(ss pregel.SuperstepStats) {
 	t.ComputeNanos += ss.ComputeTime.Nanoseconds()
 	t.BarrierNanos += ss.BarrierWait.Nanoseconds()
 	t.CaptureNanos += ss.CaptureTime.Nanoseconds()
+	t.FlushNanos += ss.FlushTime.Nanoseconds()
+	if ss.CaptureQueueDepth > t.MaxCaptureQueueDepth {
+		t.MaxCaptureQueueDepth = ss.CaptureQueueDepth
+	}
 	if ss.ComputeSkew > t.MaxComputeSkew {
 		t.MaxComputeSkew = ss.ComputeSkew
 	}

@@ -194,6 +194,14 @@ type SuperstepStats struct {
 	// Straggler is the worker with the largest compute time this
 	// superstep, or -1 when telemetry is disabled.
 	Straggler int `json:"straggler"`
+	// FlushTime is the wall time the coordinator spent in the
+	// listener's BarrierFlush — draining and committing the capture
+	// pipeline at this barrier. Zero for listeners without one.
+	FlushTime time.Duration `json:"flush_ns,omitempty"`
+	// CaptureQueueDepth is the number of capture records still queued
+	// in the trace pipeline when the barrier was reached, sampled just
+	// before the flush: how far writing lagged compute.
+	CaptureQueueDepth int `json:"capture_queue,omitempty"`
 	// Workers holds the per-worker breakdown, indexed by worker ID.
 	Workers []WorkerStepStats `json:"workers,omitempty"`
 }
@@ -202,13 +210,31 @@ type SuperstepStats struct {
 // recorded by the worker itself without synchronization and folded by
 // the coordinator at the barrier.
 type WorkerStepStats struct {
-	Worker           int           `json:"worker"`
-	VerticesProcessed int64        `json:"vertices"`
-	MessagesSent     int64         `json:"sent"`
-	MessagesReceived int64         `json:"received"`
-	ComputeTime      time.Duration `json:"compute_ns"`
-	BarrierWait      time.Duration `json:"barrier_ns"`
-	CaptureTime      time.Duration `json:"capture_ns"`
+	Worker            int           `json:"worker"`
+	VerticesProcessed int64         `json:"vertices"`
+	MessagesSent      int64         `json:"sent"`
+	MessagesReceived  int64         `json:"received"`
+	ComputeTime       time.Duration `json:"compute_ns"`
+	BarrierWait       time.Duration `json:"barrier_ns"`
+	CaptureTime       time.Duration `json:"capture_ns"`
+}
+
+// BarrierFlusher is implemented by listeners that buffer trace
+// records asynchronously (internal/core's Graft session). The engine
+// calls BarrierFlush on the coordinator goroutine at every superstep
+// barrier, after the workers have joined and before SuperstepFinished
+// fires: when it returns, every record captured up to this barrier is
+// durable, which is what lets crash recovery replay deterministically.
+// A returned error aborts the job.
+type BarrierFlusher interface {
+	BarrierFlush(superstep int) error
+}
+
+// CaptureQueueReporter is implemented by listeners whose capture
+// pipeline queues records. The engine samples it at the barrier, just
+// before BarrierFlush, to expose queue depth in SuperstepStats.
+type CaptureQueueReporter interface {
+	CaptureQueueDepth() int
 }
 
 // CaptureTimeReporter is implemented by instrumented computations

@@ -418,6 +418,19 @@ func (en *engine) run(start time.Time) (*Stats, error) {
 		if collect {
 			en.foldTelemetry(&ss, results, phaseWall)
 		}
+		// Barrier flush: listeners with an async capture pipeline drain
+		// and commit it here, so everything captured up to this barrier
+		// is durable before the superstep is announced as finished.
+		if bf, ok := listener.(BarrierFlusher); ok {
+			if qr, ok := listener.(CaptureQueueReporter); ok {
+				ss.CaptureQueueDepth = qr.CaptureQueueDepth()
+			}
+			flushStart := time.Now()
+			if err := bf.BarrierFlush(en.superstep); err != nil {
+				return finish(fmt.Errorf("pregel: trace flush at superstep %d: %w", en.superstep, err))
+			}
+			ss.FlushTime = time.Since(flushStart)
+		}
 		en.stats.PerSuperstep = append(en.stats.PerSuperstep, ss)
 		if listener != nil {
 			listener.SuperstepFinished(en.superstep, ss)

@@ -12,7 +12,7 @@ type telemetryListener struct {
 	steps []SuperstepStats
 }
 
-func (l *telemetryListener) JobStarted(info JobInfo)                        {}
+func (l *telemetryListener) JobStarted(info JobInfo)                            {}
 func (l *telemetryListener) SuperstepStarted(superstep int, info SuperstepInfo) {}
 func (l *telemetryListener) SuperstepFinished(superstep int, ss SuperstepStats) {
 	l.steps = append(l.steps, ss)

@@ -23,11 +23,21 @@ type DB struct {
 	supersteps []int // sorted superstep numbers that have a meta record
 }
 
-// LoadDB reads and indexes every trace file of a job.
+// LoadDB reads and indexes every trace record of a job eagerly: the
+// compatibility wrapper around the lazy path. New code that does not
+// need the whole trace in memory should use Store.OpenReader, which
+// fetches only the segments a lookup touches.
 func (s *Store) LoadDB(jobID string) (*DB, error) {
 	meta, err := s.ReadMeta(jobID)
 	if err != nil {
 		return nil, err
+	}
+	if meta.Format == FormatSegments {
+		r, err := s.OpenReader(jobID)
+		if err != nil {
+			return nil, err
+		}
+		return r.materialize()
 	}
 	db := &DB{
 		Meta:     meta,
@@ -53,7 +63,7 @@ func (s *Store) LoadDB(jobID string) (*DB, error) {
 		if err != nil {
 			return nil, err
 		}
-		r, err := NewReader(raw)
+		r, err := NewRecordReader(raw)
 		if err != nil {
 			return nil, fmt.Errorf("trace: %s: %w", name, err)
 		}
@@ -90,6 +100,12 @@ func (db *DB) add(rec any) {
 		m[r.ID] = r
 	}
 }
+
+// JobMeta implements View.
+func (db *DB) JobMeta() JobMeta { return db.Meta }
+
+// JobResult implements View.
+func (db *DB) JobResult() *JobResult { return db.Result }
 
 // Supersteps returns the sorted superstep numbers that have metadata.
 func (db *DB) Supersteps() []int { return db.supersteps }
@@ -183,8 +199,14 @@ type ViolationRow struct {
 // ViolationsAt returns the violations-and-exceptions rows of one
 // superstep, sorted by vertex ID.
 func (db *DB) ViolationsAt(superstep int) []ViolationRow {
+	return violationRows(superstep, db.CapturesAt(superstep))
+}
+
+// violationRows builds the Violations view rows from one superstep's
+// captures (shared by DB and Reader).
+func violationRows(superstep int, caps []*VertexCapture) []ViolationRow {
 	var rows []ViolationRow
-	for _, c := range db.CapturesAt(superstep) {
+	for _, c := range caps {
 		for _, v := range c.Violations {
 			rows = append(rows, ViolationRow{
 				Superstep: superstep,
@@ -228,8 +250,19 @@ type Status struct {
 
 // StatusAt computes the M/V/E status of one superstep.
 func (db *DB) StatusAt(superstep int) Status {
+	m := db.captures[superstep]
+	caps := make([]*VertexCapture, 0, len(m))
+	for _, c := range m {
+		caps = append(caps, c)
+	}
+	return statusOf(caps)
+}
+
+// statusOf folds one superstep's captures into the M/V/E boxes
+// (shared by DB and Reader).
+func statusOf(caps []*VertexCapture) Status {
 	var st Status
-	for _, c := range db.captures[superstep] {
+	for _, c := range caps {
 		for _, v := range c.Violations {
 			switch v.Kind {
 			case MessageViolation, IncomingMessageViolation:

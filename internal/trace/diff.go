@@ -43,8 +43,9 @@ func (d *JobDiff) FirstDivergence() *CaptureDivergence {
 	return &d.Divergences[0]
 }
 
-// DiffJobs compares the captures of two trace DBs.
-func DiffJobs(a, b *DB) *JobDiff {
+// DiffJobs compares the captures of two trace views (eager DBs or
+// lazy Readers in any combination).
+func DiffJobs(a, b View) *JobDiff {
 	diff := &JobDiff{}
 	aIDs := a.CapturedVertexIDs()
 	bIDs := b.CapturedVertexIDs()

@@ -57,8 +57,43 @@ func (w *Writer) frame() error {
 
 // WriteVertexCapture appends one vertex capture record.
 func (w *Writer) WriteVertexCapture(c *VertexCapture) error {
-	e := w.e
-	e.Reset()
+	w.e.Reset()
+	encodeVertexCapturePayload(w.e, c)
+	return w.frame()
+}
+
+// WriteMasterCapture appends one master capture record.
+func (w *Writer) WriteMasterCapture(c *MasterCapture) error {
+	w.e.Reset()
+	encodeMasterCapturePayload(w.e, c)
+	return w.frame()
+}
+
+// WriteSuperstepMeta appends one superstep metadata record.
+func (w *Writer) WriteSuperstepMeta(m *SuperstepMeta) error {
+	w.e.Reset()
+	encodeSuperstepMetaPayload(w.e, m)
+	return w.frame()
+}
+
+// encodeRecordPayload appends the framed payload of rec (kind byte
+// first) to e. The payload bytes are identical between legacy .trace
+// files and segment files; only the container around them differs.
+func encodeRecordPayload(e *pregel.Encoder, rec any) error {
+	switch r := rec.(type) {
+	case *VertexCapture:
+		encodeVertexCapturePayload(e, r)
+	case *MasterCapture:
+		encodeMasterCapturePayload(e, r)
+	case *SuperstepMeta:
+		encodeSuperstepMetaPayload(e, r)
+	default:
+		return fmt.Errorf("trace: cannot encode record type %T", rec)
+	}
+	return nil
+}
+
+func encodeVertexCapturePayload(e *pregel.Encoder, c *VertexCapture) {
 	e.PutUvarint(uint64(kindVertexCapture))
 	e.PutUvarint(uint64(c.Superstep))
 	e.PutUvarint(uint64(c.Worker))
@@ -90,13 +125,9 @@ func (w *Writer) WriteVertexCapture(c *VertexCapture) error {
 		pregel.EncodeTyped(e, v.Value)
 	}
 	encodeException(e, c.Exception)
-	return w.frame()
 }
 
-// WriteMasterCapture appends one master capture record.
-func (w *Writer) WriteMasterCapture(c *MasterCapture) error {
-	e := w.e
-	e.Reset()
+func encodeMasterCapturePayload(e *pregel.Encoder, c *MasterCapture) {
 	e.PutUvarint(uint64(kindMasterCapture))
 	e.PutUvarint(uint64(c.Superstep))
 	e.PutVarint(c.NumVertices)
@@ -110,19 +141,33 @@ func (w *Writer) WriteMasterCapture(c *MasterCapture) error {
 	}
 	e.PutBool(c.Halted)
 	encodeException(e, c.Exception)
-	return w.frame()
 }
 
-// WriteSuperstepMeta appends one superstep metadata record.
-func (w *Writer) WriteSuperstepMeta(m *SuperstepMeta) error {
-	e := w.e
-	e.Reset()
+func encodeSuperstepMetaPayload(e *pregel.Encoder, m *SuperstepMeta) {
 	e.PutUvarint(uint64(kindSuperstepMeta))
 	e.PutUvarint(uint64(m.Superstep))
 	e.PutVarint(m.NumVertices)
 	e.PutVarint(m.NumEdges)
 	encodeAggMap(e, m.Aggregated)
-	return w.frame()
+}
+
+// decodeRecordPayload decodes one framed payload (kind byte first)
+// into a *VertexCapture, *MasterCapture or *SuperstepMeta.
+func decodeRecordPayload(payload []byte) (any, error) {
+	pd := pregel.NewDecoder(payload)
+	kind := recordKind(pd.Uvarint())
+	switch kind {
+	case kindVertexCapture:
+		return decodeVertexCapture(pd)
+	case kindMasterCapture:
+		return decodeMasterCapture(pd)
+	case kindSuperstepMeta:
+		return decodeSuperstepMeta(pd)
+	}
+	if pd.Err() != nil {
+		return nil, pd.Err()
+	}
+	return nil, fmt.Errorf("trace: unknown record kind %d", kind)
 }
 
 // Close flushes buffered records and closes the file, committing it.
@@ -182,24 +227,31 @@ func decodeAggMap(d *pregel.Decoder) (map[string]pregel.Value, error) {
 	return m, d.Err()
 }
 
-// Reader iterates the records of one trace file.
-type Reader struct {
+// RecordReader iterates the framed records of one trace or segment
+// file's byte contents. For random access over an indexed trace use
+// Reader (Store.OpenReader) instead.
+type RecordReader struct {
 	data []byte
 	off  int
 }
 
-// NewReader validates the header of data and positions at the first
-// record.
-func NewReader(data []byte) (*Reader, error) {
-	if len(data) < len(fileMagic) || string(data[:len(fileMagic)]) != fileMagic {
+// NewRecordReader validates the header of data (legacy .trace or
+// segment magic) and positions at the first record.
+func NewRecordReader(data []byte) (*RecordReader, error) {
+	if len(data) < len(fileMagic) {
 		return nil, ErrBadMagic
 	}
-	return &Reader{data: data, off: len(fileMagic)}, nil
+	switch string(data[:len(fileMagic)]) {
+	case fileMagic, segMagic:
+	default:
+		return nil, ErrBadMagic
+	}
+	return &RecordReader{data: data, off: len(fileMagic)}, nil
 }
 
 // Next returns the next record: a *VertexCapture, *MasterCapture or
 // *SuperstepMeta. It returns io.EOF after the last record.
-func (r *Reader) Next() (any, error) {
+func (r *RecordReader) Next() (any, error) {
 	if r.off >= len(r.data) {
 		return nil, io.EOF
 	}
@@ -209,20 +261,7 @@ func (r *Reader) Next() (any, error) {
 		return nil, d.Err()
 	}
 	r.off = len(r.data) - d.Remaining()
-	pd := pregel.NewDecoder(payload)
-	kind := recordKind(pd.Uvarint())
-	switch kind {
-	case kindVertexCapture:
-		return decodeVertexCapture(pd)
-	case kindMasterCapture:
-		return decodeMasterCapture(pd)
-	case kindSuperstepMeta:
-		return decodeSuperstepMeta(pd)
-	}
-	if pd.Err() != nil {
-		return nil, pd.Err()
-	}
-	return nil, fmt.Errorf("trace: unknown record kind %d", kind)
+	return decodeRecordPayload(payload)
 }
 
 func decodeVertexCapture(d *pregel.Decoder) (*VertexCapture, error) {

@@ -1,0 +1,553 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"graft/internal/dfs"
+	"graft/internal/pregel"
+)
+
+// View is the read surface shared by the lazy Reader and the eager DB:
+// everything the GUI pages and the Context Reproducer ask of a trace.
+type View interface {
+	// JobMeta returns the job manifest.
+	JobMeta() JobMeta
+	// JobResult returns the job result, or nil if the job has not
+	// written job.done.
+	JobResult() *JobResult
+	// Supersteps returns the sorted superstep numbers with metadata.
+	Supersteps() []int
+	// MaxSuperstep returns the largest recorded superstep, or -1.
+	MaxSuperstep() int
+	// MetaAt returns the superstep metadata, or nil.
+	MetaAt(superstep int) *SuperstepMeta
+	// MasterAt returns the master capture of a superstep, or nil.
+	MasterAt(superstep int) *MasterCapture
+	// Capture returns one vertex's capture at one superstep, or nil.
+	Capture(superstep int, id pregel.VertexID) *VertexCapture
+	// CapturesAt returns a superstep's captures sorted by vertex ID.
+	CapturesAt(superstep int) []*VertexCapture
+	// CapturesOf returns one vertex's captures in superstep order.
+	CapturesOf(id pregel.VertexID) []*VertexCapture
+	// CapturedVertexIDs returns the sorted IDs of captured vertices.
+	CapturedVertexIDs() []pregel.VertexID
+	// TotalCaptures returns the number of vertex capture records.
+	TotalCaptures() int64
+	// ViolationsAt returns one superstep's violation rows.
+	ViolationsAt(superstep int) []ViolationRow
+	// AllViolations returns every violation row across supersteps.
+	AllViolations() []ViolationRow
+	// StatusAt computes the M/V/E status boxes of one superstep.
+	StatusAt(superstep int) Status
+	// Search returns captures matching q in (superstep, vertex) order.
+	Search(q Query) []*VertexCapture
+}
+
+var (
+	_ View = (*DB)(nil)
+	_ View = (*Reader)(nil)
+)
+
+// recordLoc locates one record: segment name relative to the job
+// directory plus the payload's offset and length inside it.
+type recordLoc struct {
+	seg string
+	off int
+	ln  int
+}
+
+// Reader is the lazy, index-driven read half of the redesigned trace
+// API. Open with Store.OpenReader. It loads only the index sidecars up
+// front; record payloads are fetched segment by segment as views ask
+// for them, through a bounded segment cache — a GUI page or a replay
+// reads only the segments holding what it renders.
+//
+// For legacy-format jobs (no index) the Reader transparently falls
+// back to an eager DB scan.
+//
+// Reader is safe for concurrent use.
+type Reader struct {
+	store *Store
+	jobID string
+	dir   string
+	meta  JobMeta
+	res   *JobResult
+
+	legacy *DB // non-nil for legacy whole-file traces
+
+	metaLoc   map[int]recordLoc
+	masterLoc map[int]recordLoc
+	vertexLoc map[int]map[pregel.VertexID]recordLoc
+	steps     []int
+	// segOrder lists every segment in lane+sequence order: the scan
+	// order under which last-record-wins matches legacy LoadDB.
+	segOrder []string
+
+	mu         sync.Mutex
+	cache      map[string][]byte
+	cacheOrder []string
+	cacheBytes int
+	cacheLimit int
+	segReads   atomic.Int64
+	err        error
+}
+
+// maxSegmentCacheBytes bounds the Reader's in-memory segment cache.
+const maxSegmentCacheBytes = 32 << 20
+
+// OpenReader opens a job's trace for lazy, indexed reads. Segmented
+// jobs (written by Store.NewSink) are served straight from their index
+// sidecars; legacy jobs fall back to an eager whole-file scan.
+func (s *Store) OpenReader(jobID string) (*Reader, error) {
+	meta, err := s.ReadMeta(jobID)
+	if err != nil {
+		return nil, err
+	}
+	r := &Reader{
+		store:      s,
+		jobID:      jobID,
+		dir:        s.jobDir(jobID),
+		meta:       meta,
+		cache:      map[string][]byte{},
+		cacheLimit: maxSegmentCacheBytes,
+	}
+	if res, done, err := s.ReadResult(jobID); err != nil {
+		return nil, err
+	} else if done {
+		r.res = &res
+	}
+	if meta.Format != FormatSegments {
+		db, err := s.LoadDB(jobID)
+		if err != nil {
+			return nil, err
+		}
+		r.legacy = db
+		return r, nil
+	}
+	if err := r.loadIndex(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// loadIndex reads every lane's index sidecar, then scans any segment
+// files the sidecars do not cover (sealed after the last barrier's
+// index rewrite, e.g. by a crash) to synthesize their entries.
+func (r *Reader) loadIndex() error {
+	files, err := r.store.FS.List(r.dir + "/")
+	if err != nil {
+		return err
+	}
+	r.metaLoc = map[int]recordLoc{}
+	r.masterLoc = map[int]recordLoc{}
+	r.vertexLoc = map[int]map[pregel.VertexID]recordLoc{}
+
+	var idxFiles, segFiles []string
+	for _, name := range files {
+		switch {
+		case strings.HasSuffix(name, ".idx"):
+			idxFiles = append(idxFiles, name)
+		case strings.HasSuffix(name, ".seg"):
+			segFiles = append(segFiles, strings.TrimPrefix(name, r.dir+"/"))
+		}
+	}
+	sort.Strings(idxFiles)
+	sort.Strings(segFiles)
+
+	indexed := map[string]bool{}
+	for _, idxPath := range idxFiles {
+		raw, err := dfs.ReadFile(r.store.FS, idxPath)
+		if err != nil {
+			return err
+		}
+		segs, err := decodeIndex(raw)
+		if err != nil {
+			return fmt.Errorf("trace: %s: %w", idxPath, err)
+		}
+		for _, seg := range segs {
+			indexed[seg.Name] = true
+			r.segOrder = append(r.segOrder, seg.Name)
+			for _, ent := range seg.Entries {
+				r.place(ent, seg.Name)
+			}
+		}
+	}
+	// Unindexed leftovers, in name (= seal sequence) order per lane:
+	// newer than anything indexed, so they are placed after and win.
+	for _, name := range segFiles {
+		if indexed[name] {
+			continue
+		}
+		raw, err := r.segmentBytes(name)
+		if err != nil {
+			return err
+		}
+		ents, err := scanSegmentEntries(raw)
+		if err != nil {
+			return fmt.Errorf("trace: %s: %w", name, err)
+		}
+		r.segOrder = append(r.segOrder, name)
+		for _, ent := range ents {
+			r.place(ent, name)
+		}
+	}
+	for s := range r.metaLoc {
+		r.steps = append(r.steps, s)
+	}
+	sort.Ints(r.steps)
+	return nil
+}
+
+func (r *Reader) place(ent indexEntry, seg string) {
+	loc := recordLoc{seg: seg, off: ent.Offset, ln: ent.Length}
+	switch ent.Kind {
+	case kindSuperstepMeta:
+		r.metaLoc[ent.Superstep] = loc
+	case kindMasterCapture:
+		r.masterLoc[ent.Superstep] = loc
+	case kindVertexCapture:
+		m := r.vertexLoc[ent.Superstep]
+		if m == nil {
+			m = map[pregel.VertexID]recordLoc{}
+			r.vertexLoc[ent.Superstep] = m
+		}
+		m[ent.VertexID] = loc
+	}
+}
+
+// scanSegmentEntries walks a segment's frames and synthesizes index
+// entries, decoding only each record's envelope (kind, superstep,
+// vertex ID).
+func scanSegmentEntries(data []byte) ([]indexEntry, error) {
+	if len(data) < len(segMagic) || string(data[:len(segMagic)]) != segMagic {
+		return nil, ErrBadMagic
+	}
+	var ents []indexEntry
+	off := len(segMagic)
+	for off < len(data) {
+		d := pregel.NewDecoder(data[off:])
+		payload := d.Bytes()
+		if d.Err() != nil {
+			return nil, d.Err()
+		}
+		off = len(data) - d.Remaining() // frame end
+		payloadOff := off - len(payload)
+		pd := pregel.NewDecoder(payload)
+		ent := indexEntry{
+			Kind:      recordKind(pd.Uvarint()),
+			Superstep: int(pd.Uvarint()),
+			Offset:    payloadOff,
+			Length:    len(payload),
+		}
+		if ent.Kind == kindVertexCapture {
+			pd.Uvarint() // worker
+			ent.VertexID = pregel.VertexID(pd.Varint())
+		}
+		if pd.Err() != nil {
+			return nil, pd.Err()
+		}
+		ents = append(ents, ent)
+	}
+	return ents, nil
+}
+
+// segmentBytes returns a segment's contents through the bounded cache.
+func (r *Reader) segmentBytes(name string) ([]byte, error) {
+	r.mu.Lock()
+	if b, ok := r.cache[name]; ok {
+		r.mu.Unlock()
+		return b, nil
+	}
+	r.mu.Unlock()
+	raw, err := dfs.ReadFile(r.store.FS, r.dir+"/"+name)
+	if err != nil {
+		return nil, err
+	}
+	if len(raw) < len(segMagic) || string(raw[:len(segMagic)]) != segMagic {
+		return nil, fmt.Errorf("trace: %s: %w", name, ErrBadMagic)
+	}
+	r.segReads.Add(1)
+	r.mu.Lock()
+	if _, ok := r.cache[name]; !ok {
+		r.cache[name] = raw
+		r.cacheOrder = append(r.cacheOrder, name)
+		r.cacheBytes += len(raw)
+		for r.cacheBytes > r.cacheLimit && len(r.cacheOrder) > 1 {
+			old := r.cacheOrder[0]
+			r.cacheOrder = r.cacheOrder[1:]
+			r.cacheBytes -= len(r.cache[old])
+			delete(r.cache, old)
+		}
+	}
+	r.mu.Unlock()
+	return raw, nil
+}
+
+// record fetches and decodes the record at loc, recording (not
+// returning) errors so View accessors can stay nil-on-missing like the
+// eager DB's.
+func (r *Reader) record(loc recordLoc) any {
+	seg, err := r.segmentBytes(loc.seg)
+	if err != nil {
+		r.setErr(err)
+		return nil
+	}
+	if loc.off < 0 || loc.off+loc.ln > len(seg) {
+		r.setErr(fmt.Errorf("trace: %s: index entry out of range", loc.seg))
+		return nil
+	}
+	rec, err := decodeRecordPayload(seg[loc.off : loc.off+loc.ln])
+	if err != nil {
+		r.setErr(fmt.Errorf("trace: %s: %w", loc.seg, err))
+		return nil
+	}
+	return rec
+}
+
+func (r *Reader) setErr(err error) {
+	r.mu.Lock()
+	if r.err == nil {
+		r.err = err
+	}
+	r.mu.Unlock()
+}
+
+// Err returns the first segment read or decode failure encountered by
+// the nil-on-missing View accessors.
+func (r *Reader) Err() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.err
+}
+
+// SegmentReads returns how many segment files have been fetched from
+// storage (cache misses): what the single-segment-lookup acceptance
+// check measures.
+func (r *Reader) SegmentReads() int64 { return r.segReads.Load() }
+
+// JobMeta implements View.
+func (r *Reader) JobMeta() JobMeta { return r.meta }
+
+// JobResult implements View.
+func (r *Reader) JobResult() *JobResult {
+	if r.legacy != nil {
+		return r.legacy.Result
+	}
+	return r.res
+}
+
+// Supersteps implements View.
+func (r *Reader) Supersteps() []int {
+	if r.legacy != nil {
+		return r.legacy.Supersteps()
+	}
+	return r.steps
+}
+
+// MaxSuperstep implements View.
+func (r *Reader) MaxSuperstep() int {
+	if r.legacy != nil {
+		return r.legacy.MaxSuperstep()
+	}
+	if len(r.steps) == 0 {
+		return -1
+	}
+	return r.steps[len(r.steps)-1]
+}
+
+// MetaAt implements View.
+func (r *Reader) MetaAt(superstep int) *SuperstepMeta {
+	if r.legacy != nil {
+		return r.legacy.MetaAt(superstep)
+	}
+	loc, ok := r.metaLoc[superstep]
+	if !ok {
+		return nil
+	}
+	m, _ := r.record(loc).(*SuperstepMeta)
+	return m
+}
+
+// MasterAt implements View.
+func (r *Reader) MasterAt(superstep int) *MasterCapture {
+	if r.legacy != nil {
+		return r.legacy.MasterAt(superstep)
+	}
+	loc, ok := r.masterLoc[superstep]
+	if !ok {
+		return nil
+	}
+	c, _ := r.record(loc).(*MasterCapture)
+	return c
+}
+
+// Capture implements View: one index lookup, one segment fetch.
+func (r *Reader) Capture(superstep int, id pregel.VertexID) *VertexCapture {
+	if r.legacy != nil {
+		return r.legacy.Capture(superstep, id)
+	}
+	loc, ok := r.vertexLoc[superstep][id]
+	if !ok {
+		return nil
+	}
+	c, _ := r.record(loc).(*VertexCapture)
+	return c
+}
+
+// CapturesAt implements View.
+func (r *Reader) CapturesAt(superstep int) []*VertexCapture {
+	if r.legacy != nil {
+		return r.legacy.CapturesAt(superstep)
+	}
+	m := r.vertexLoc[superstep]
+	out := make([]*VertexCapture, 0, len(m))
+	for _, loc := range m {
+		if c, _ := r.record(loc).(*VertexCapture); c != nil {
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// CapturesOf implements View.
+func (r *Reader) CapturesOf(id pregel.VertexID) []*VertexCapture {
+	if r.legacy != nil {
+		return r.legacy.CapturesOf(id)
+	}
+	var out []*VertexCapture
+	for _, m := range r.vertexLoc {
+		if loc, ok := m[id]; ok {
+			if c, _ := r.record(loc).(*VertexCapture); c != nil {
+				out = append(out, c)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Superstep < out[j].Superstep })
+	return out
+}
+
+// CapturedVertexIDs implements View, answered from the index alone.
+func (r *Reader) CapturedVertexIDs() []pregel.VertexID {
+	if r.legacy != nil {
+		return r.legacy.CapturedVertexIDs()
+	}
+	seen := map[pregel.VertexID]bool{}
+	for _, m := range r.vertexLoc {
+		for id := range m {
+			seen[id] = true
+		}
+	}
+	out := make([]pregel.VertexID, 0, len(seen))
+	for id := range seen {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// TotalCaptures implements View, answered from the index alone.
+func (r *Reader) TotalCaptures() int64 {
+	if r.legacy != nil {
+		return r.legacy.TotalCaptures()
+	}
+	var n int64
+	for _, m := range r.vertexLoc {
+		n += int64(len(m))
+	}
+	return n
+}
+
+// ViolationsAt implements View.
+func (r *Reader) ViolationsAt(superstep int) []ViolationRow {
+	if r.legacy != nil {
+		return r.legacy.ViolationsAt(superstep)
+	}
+	return violationRows(superstep, r.CapturesAt(superstep))
+}
+
+// AllViolations implements View.
+func (r *Reader) AllViolations() []ViolationRow {
+	if r.legacy != nil {
+		return r.legacy.AllViolations()
+	}
+	var rows []ViolationRow
+	for _, s := range r.steps {
+		rows = append(rows, r.ViolationsAt(s)...)
+	}
+	return rows
+}
+
+// StatusAt implements View.
+func (r *Reader) StatusAt(superstep int) Status {
+	if r.legacy != nil {
+		return r.legacy.StatusAt(superstep)
+	}
+	return statusOf(r.CapturesAt(superstep))
+}
+
+// Search implements View.
+func (r *Reader) Search(q Query) []*VertexCapture {
+	if r.legacy != nil {
+		return r.legacy.Search(q)
+	}
+	var out []*VertexCapture
+	steps := r.steps
+	if q.Superstep >= 0 {
+		steps = []int{q.Superstep}
+	}
+	for _, s := range steps {
+		for _, c := range r.CapturesAt(s) {
+			if q.matches(c) {
+				out = append(out, c)
+			}
+		}
+	}
+	return out
+}
+
+// materialize builds an eager DB from the segments in scan order: the
+// compatibility path behind LoadDB for segmented jobs. Unlike the
+// nil-on-missing View accessors, it surfaces corruption as an error.
+func (r *Reader) materialize() (*DB, error) {
+	if r.legacy != nil {
+		return r.legacy, nil
+	}
+	db := &DB{
+		Meta:     r.meta,
+		Result:   r.res,
+		metas:    map[int]*SuperstepMeta{},
+		captures: map[int]map[pregel.VertexID]*VertexCapture{},
+		masters:  map[int]*MasterCapture{},
+	}
+	for _, name := range r.segOrder {
+		raw, err := r.segmentBytes(name)
+		if err != nil {
+			return nil, err
+		}
+		rr, err := NewRecordReader(raw)
+		if err != nil {
+			return nil, fmt.Errorf("trace: %s: %w", name, err)
+		}
+		for {
+			rec, err := rr.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return nil, fmt.Errorf("trace: %s: %w", name, err)
+			}
+			db.add(rec)
+		}
+	}
+	for s := range db.metas {
+		db.supersteps = append(db.supersteps, s)
+	}
+	sort.Ints(db.supersteps)
+	return db, nil
+}

@@ -192,6 +192,10 @@ type JobMeta struct {
 	NumWorkers  int    `json:"num_workers"`
 	NumVertices int64  `json:"num_vertices"`
 	NumEdges    int64  `json:"num_edges"`
+	// Format identifies the on-disk trace layout: FormatSegments for
+	// jobs written through Store.NewSink, empty for legacy whole-file
+	// traces written through the deprecated NewJobWriter.
+	Format string `json:"format,omitempty"`
 }
 
 // JobResult is written when the job finishes (or fails).

@@ -1,0 +1,255 @@
+package trace
+
+import (
+	"bytes"
+	"fmt"
+	"sync/atomic"
+
+	"graft/internal/dfs"
+	"graft/internal/pregel"
+)
+
+// Segmented trace layout. Each lane (one per worker, one for the
+// master) is a directory of segment files plus an index sidecar:
+//
+//	<root>/<jobID>/worker_NN/seg_000000.seg
+//	<root>/<jobID>/worker_NN/seg_000001.seg
+//	<root>/<jobID>/worker_NN.idx
+//	<root>/<jobID>/master/seg_000000.seg
+//	<root>/<jobID>/master.idx
+//
+// A segment file is the magic "GRFTSEG1" followed by the same framed
+// records legacy .trace files hold (uvarint length ++ payload), so a
+// segment remains scannable without its index. Segments are sealed —
+// committed whole through the atomic-on-close file system — at the
+// configured size and at every superstep barrier, which is what makes
+// crash and chaos runs replayable: everything up to the last completed
+// barrier is durable.
+//
+// The index sidecar is the magic "GRFTIDX1" followed by, per sealed
+// segment, its file name and one (kind, superstep, vertexID, offset,
+// length) entry per record, where offset/length locate the record's
+// payload inside the segment file. It is rewritten atomically at each
+// barrier; a reader that finds segment files missing from the index
+// (crash between a segment commit and the index rewrite) falls back to
+// scanning just those segments.
+const (
+	segMagic = "GRFTSEG1"
+	idxMagic = "GRFTIDX1"
+)
+
+// indexEntry locates one record's payload inside a segment file.
+type indexEntry struct {
+	Kind      recordKind
+	Superstep int
+	VertexID  pregel.VertexID // 0 unless Kind is kindVertexCapture
+	Offset    int             // payload start within the segment file
+	Length    int             // payload length
+}
+
+// segmentIndex is the index of one sealed segment: its file name
+// (relative to the job directory) and the entries in record order.
+type segmentIndex struct {
+	Name    string
+	Entries []indexEntry
+}
+
+// segmentWriter owns one lane: it buffers the current segment in
+// memory, seals it to a segment file when full or at barriers, and
+// rewrites the lane's index sidecar on flush. Not safe for concurrent
+// use; each lane's drainer goroutine is its only caller.
+type segmentWriter struct {
+	fs      dfs.FileSystem
+	jobDir  string
+	lane    string // "worker_00" or "master"
+	segSize int
+	// dropped counts records discarded when a segment cannot be
+	// committed; shared with the owning sink's DroppedRecords.
+	dropped *atomic.Int64
+
+	e   *pregel.Encoder // payload scratch
+	hdr *pregel.Encoder // frame-length scratch
+
+	buf    bytes.Buffer // current open segment, magic included
+	cur    []indexEntry
+	sealed []segmentIndex
+	segSeq int
+	recs   int64
+	dirty  bool // records or seals since the last index rewrite
+}
+
+func newSegmentWriter(fs dfs.FileSystem, jobDir, lane string, segSize int, dropped *atomic.Int64) *segmentWriter {
+	sw := &segmentWriter{
+		fs: fs, jobDir: jobDir, lane: lane, segSize: segSize, dropped: dropped,
+		e: pregel.NewEncoder(), hdr: pregel.NewEncoder(),
+	}
+	if sw.dropped == nil {
+		sw.dropped = new(atomic.Int64)
+	}
+	sw.buf.WriteString(segMagic)
+	return sw
+}
+
+func (sw *segmentWriter) indexPath() string { return sw.jobDir + "/" + sw.lane + ".idx" }
+
+// encodeFrame appends rec's frame (uvarint length ++ payload) to buf,
+// using e and hdr as scratch, and returns the record's index entry
+// with Offset relative to buf's start. On an encode failure buf is
+// left untouched.
+func encodeFrame(e, hdr *pregel.Encoder, buf *bytes.Buffer, rec any) (indexEntry, error) {
+	e.Reset()
+	if err := encodeRecordPayload(e, rec); err != nil {
+		return indexEntry{}, err
+	}
+	payload := e.Bytes()
+	hdr.Reset()
+	hdr.PutUvarint(uint64(len(payload)))
+	ent := indexEntry{
+		Kind:   recordKind(payload[0]),
+		Offset: buf.Len() + hdr.Len(),
+		Length: len(payload),
+	}
+	switch r := rec.(type) {
+	case *VertexCapture:
+		ent.Superstep, ent.VertexID = r.Superstep, r.ID
+	case *MasterCapture:
+		ent.Superstep = r.Superstep
+	case *SuperstepMeta:
+		ent.Superstep = r.Superstep
+	}
+	buf.Write(hdr.Bytes())
+	buf.Write(payload)
+	return ent, nil
+}
+
+// append encodes rec into the open segment and records its index
+// entry, sealing the segment once it passes the size threshold.
+func (sw *segmentWriter) append(rec any) error {
+	ent, err := encodeFrame(sw.e, sw.hdr, &sw.buf, rec)
+	if err != nil {
+		sw.dropped.Add(1)
+		return err
+	}
+	sw.cur = append(sw.cur, ent)
+	sw.recs++
+	sw.dirty = true
+	if sw.buf.Len() >= sw.segSize {
+		return sw.seal()
+	}
+	return nil
+}
+
+// appendFramed copies a batch of pre-framed records — frames as laid
+// out by encodeFrame, entries with Offsets relative to the start of
+// frames — into the open segment, then applies the size threshold.
+// The async pipeline's producers frame records at the source so the
+// drainer's per-record work is this bulk copy.
+func (sw *segmentWriter) appendFramed(frames []byte, entries []indexEntry) error {
+	if len(entries) == 0 {
+		return nil
+	}
+	delta := sw.buf.Len()
+	sw.buf.Write(frames)
+	for _, ent := range entries {
+		ent.Offset += delta
+		sw.cur = append(sw.cur, ent)
+	}
+	sw.recs += int64(len(entries))
+	sw.dirty = true
+	if sw.buf.Len() >= sw.segSize {
+		return sw.seal()
+	}
+	return nil
+}
+
+// seal commits the open segment as its own file. Empty segments are
+// skipped so barriers without captures cost no file. A segment that
+// cannot be committed is discarded — its records count as dropped and
+// the job continues with a degraded capture — so a persistently
+// failing store can never grow the buffer without bound.
+func (sw *segmentWriter) seal() error {
+	if len(sw.cur) == 0 {
+		return nil
+	}
+	name := fmt.Sprintf("%s/seg_%06d.seg", sw.lane, sw.segSeq)
+	err := dfs.WriteFile(sw.fs, sw.jobDir+"/"+name, sw.buf.Bytes())
+	if err != nil {
+		sw.dropped.Add(int64(len(sw.cur)))
+	} else {
+		sw.sealed = append(sw.sealed, segmentIndex{Name: name, Entries: sw.cur})
+		sw.segSeq++
+	}
+	sw.cur = nil
+	sw.buf.Reset()
+	sw.buf.WriteString(segMagic)
+	return err
+}
+
+// flush seals the open segment and rewrites the lane's index sidecar:
+// the barrier hook. After flush returns, every record appended so far
+// is durable and indexed (or counted as dropped).
+func (sw *segmentWriter) flush() error {
+	if !sw.dirty {
+		return nil
+	}
+	err := sw.seal()
+	if ierr := dfs.WriteFile(sw.fs, sw.indexPath(), encodeIndex(sw.sealed)); ierr != nil && err == nil {
+		err = ierr
+	}
+	if err == nil {
+		sw.dirty = false
+	}
+	return err
+}
+
+func encodeIndex(segs []segmentIndex) []byte {
+	e := pregel.NewEncoder()
+	e.PutRaw([]byte(idxMagic))
+	e.PutUvarint(uint64(len(segs)))
+	for _, seg := range segs {
+		e.PutString(seg.Name)
+		e.PutUvarint(uint64(len(seg.Entries)))
+		for _, ent := range seg.Entries {
+			e.PutUvarint(uint64(ent.Kind))
+			e.PutUvarint(uint64(ent.Superstep))
+			e.PutVarint(int64(ent.VertexID))
+			e.PutUvarint(uint64(ent.Offset))
+			e.PutUvarint(uint64(ent.Length))
+		}
+	}
+	return e.Bytes()
+}
+
+func decodeIndex(raw []byte) ([]segmentIndex, error) {
+	if len(raw) < len(idxMagic) || string(raw[:len(idxMagic)]) != idxMagic {
+		return nil, ErrBadMagic
+	}
+	d := pregel.NewDecoder(raw[len(idxMagic):])
+	nSegs := d.Uvarint()
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	segs := make([]segmentIndex, 0, nSegs)
+	for i := uint64(0); i < nSegs; i++ {
+		seg := segmentIndex{Name: d.String()}
+		nEnts := d.Uvarint()
+		if d.Err() != nil {
+			return nil, d.Err()
+		}
+		seg.Entries = make([]indexEntry, 0, nEnts)
+		for j := uint64(0); j < nEnts; j++ {
+			seg.Entries = append(seg.Entries, indexEntry{
+				Kind:      recordKind(d.Uvarint()),
+				Superstep: int(d.Uvarint()),
+				VertexID:  pregel.VertexID(d.Varint()),
+				Offset:    int(d.Uvarint()),
+				Length:    int(d.Uvarint()),
+			})
+		}
+		if d.Err() != nil {
+			return nil, d.Err()
+		}
+		segs = append(segs, seg)
+	}
+	return segs, d.Err()
+}

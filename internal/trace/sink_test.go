@@ -1,0 +1,467 @@
+package trace
+
+import (
+	"errors"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"graft/internal/dfs"
+	"graft/internal/pregel"
+)
+
+// writeSinkJob writes a small deterministic job through a Sink: three
+// supersteps, two workers, vertex IDs 100*(worker+1)+superstep, a
+// master capture and a superstep meta per step, with a barrier flush
+// after each superstep.
+func writeSinkJob(t *testing.T, store *Store, jobID string, opts ...Option) {
+	t.Helper()
+	sink, err := store.NewSink(JobMeta{
+		JobID: jobID, Algorithm: "gc", NumWorkers: 2, NumVertices: 6, NumEdges: 12,
+	}, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var captures int64
+	for step := 0; step < 3; step++ {
+		for w := 0; w < 2; w++ {
+			c := sampleVertexCapture()
+			c.Superstep, c.Worker = step, w
+			c.ID = pregel.VertexID(100*(w+1) + step)
+			if err := sink.WorkerSink(w).WriteVertexCapture(c); err != nil {
+				t.Fatal(err)
+			}
+			captures++
+		}
+		mc := sampleMasterCapture()
+		mc.Superstep = step
+		if err := sink.MasterSink().WriteMasterCapture(mc); err != nil {
+			t.Fatal(err)
+		}
+		meta := sampleMeta()
+		meta.Superstep = step
+		if err := sink.MasterSink().WriteSuperstepMeta(meta); err != nil {
+			t.Fatal(err)
+		}
+		if err := sink.BarrierFlush(step); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sink.Finish(JobResult{Supersteps: 3, Reason: "max supersteps", Captures: captures}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if n := sink.DroppedRecords(); n != 0 {
+		t.Fatalf("dropped %d records under Block policy", n)
+	}
+}
+
+func TestSinkSegmentedRoundTrip(t *testing.T) {
+	fs := dfs.NewMemFS()
+	store := NewStore(fs, "t")
+	writeSinkJob(t, store, "job1")
+
+	// The on-disk layout is segments plus index sidecars, no legacy
+	// .trace files.
+	names, err := fs.List("t/job1/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var segs, idxs int
+	for _, n := range names {
+		switch {
+		case strings.HasSuffix(n, ".seg"):
+			segs++
+		case strings.HasSuffix(n, ".idx"):
+			idxs++
+		case strings.HasSuffix(n, ".trace"):
+			t.Errorf("legacy trace file %q in a segmented job", n)
+		}
+	}
+	if segs == 0 || idxs != 3 {
+		t.Fatalf("layout: %d segments, %d index sidecars (want 3), files=%v", segs, idxs, names)
+	}
+
+	r, err := store.OpenReader("job1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.JobMeta(); got.Format != FormatSegments || got.Algorithm != "gc" {
+		t.Errorf("meta = %+v", got)
+	}
+	if res := r.JobResult(); res == nil || res.Captures != 6 {
+		t.Errorf("result = %+v", res)
+	}
+	if got := r.Supersteps(); len(got) != 3 {
+		t.Errorf("supersteps = %v", got)
+	}
+	if n := r.TotalCaptures(); n != 6 {
+		t.Errorf("total captures = %d", n)
+	}
+	c := r.Capture(1, 201)
+	if c == nil || c.Worker != 1 || c.Superstep != 1 {
+		t.Fatalf("capture(1, 201) = %+v", c)
+	}
+	want := sampleVertexCapture()
+	if !pregel.ValuesEqual(c.ValueAfter, want.ValueAfter) || c.Reasons != want.Reasons {
+		t.Errorf("capture fields lost in round trip: %+v", c)
+	}
+	if mc := r.MasterAt(2); mc == nil || mc.NumVertices != 1_000_000_000 {
+		t.Errorf("master at 2 = %+v", mc)
+	}
+	if m := r.MetaAt(0); m == nil || m.NumVertices != 10 {
+		t.Errorf("meta at 0 = %+v", m)
+	}
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSinkSingleLookupSegmentReads pins the lazy-read acceptance
+// claim: a cold single-vertex lookup fetches at most one segment.
+func TestSinkSingleLookupSegmentReads(t *testing.T) {
+	store := NewStore(dfs.NewMemFS(), "t")
+	// A small segment size forces several segments per lane, so the
+	// check is not vacuous.
+	writeSinkJob(t, store, "job1", WithSegmentSize(64))
+	r, err := store.OpenReader("job1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := r.Capture(2, 102); c == nil {
+		t.Fatal("capture(2, 102) missing")
+	}
+	if n := r.SegmentReads(); n > 1 {
+		t.Errorf("single lookup read %d segments, want at most 1", n)
+	}
+}
+
+// TestSinkSyncAsyncEquivalence writes the same record stream through
+// the synchronous path and the async pipeline and demands the two
+// traces be indistinguishable to a reader.
+func TestSinkSyncAsyncEquivalence(t *testing.T) {
+	store := NewStore(dfs.NewMemFS(), "t")
+	writeSinkJob(t, store, "sync", WithSynchronous(), WithSegmentSize(64))
+	// Batch size 3 exercises partial-batch pushes at barriers; segment
+	// size 64 exercises mid-stream seals on the drainer.
+	writeSinkJob(t, store, "async", WithBatchSize(3), WithSegmentSize(64))
+
+	a, err := store.OpenReader("sync")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := store.OpenReader("async")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := DiffJobs(a, b)
+	if len(diff.OnlyA) != 0 || len(diff.OnlyB) != 0 {
+		t.Errorf("capture sets differ: onlySync=%v onlyAsync=%v", diff.OnlyA, diff.OnlyB)
+	}
+	if d := diff.FirstDivergence(); d != nil {
+		t.Errorf("first divergence at superstep %d vertex %d: %v", d.Superstep, d.ID, d.Fields)
+	}
+	if len(diff.StatusDiffs) != 0 {
+		t.Errorf("status differs at supersteps %v", diff.StatusDiffs)
+	}
+}
+
+// TestSinkBatchSizeOne pins the edge case where every record is its
+// own batch message.
+func TestSinkBatchSizeOne(t *testing.T) {
+	store := NewStore(dfs.NewMemFS(), "t")
+	writeSinkJob(t, store, "job1", WithBatchSize(1), WithQueueCapacity(1))
+	r, err := store.OpenReader("job1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := r.TotalCaptures(); n != 6 {
+		t.Errorf("total captures = %d", n)
+	}
+}
+
+// gateFS wraps a FileSystem and blocks every segment-file Create until
+// the gate opens, simulating a wedged remote store. Index and manifest
+// writes pass through so only the drainer's seal path hangs.
+type gateFS struct {
+	dfs.FileSystem
+	gate chan struct{}
+}
+
+func (g *gateFS) Create(path string) (io.WriteCloser, error) {
+	if strings.HasSuffix(path, ".seg") {
+		<-g.gate
+	}
+	return g.FileSystem.Create(path)
+}
+
+// TestSinkDropPolicyNeverBlocks is the chaos check for the Drop
+// policy: with the store wedged solid, a producer keeps submitting and
+// must never stall — overflow is counted, not waited out, and the
+// backpressure drops do not poison Err, which is reserved for
+// structural write failures.
+func TestSinkDropPolicyNeverBlocks(t *testing.T) {
+	gate := &gateFS{FileSystem: dfs.NewMemFS(), gate: make(chan struct{})}
+	store := NewStore(gate, "t")
+	sink, err := store.NewSink(JobMeta{JobID: "job1", NumWorkers: 1},
+		WithBackpressure(Drop),
+		WithBatchSize(1),
+		WithQueueCapacity(1),
+		// One record overflows the segment, so the very first batch
+		// wedges the drainer in Create.
+		WithSegmentSize(1),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writes = 1000
+	done := make(chan error, 1)
+	go func() {
+		w := sink.WorkerSink(0)
+		for i := 0; i < writes; i++ {
+			c := sampleVertexCapture()
+			c.ID = pregel.VertexID(i)
+			if err := w.WriteVertexCapture(c); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("producer blocked under Drop policy with a wedged store")
+	}
+	if n := sink.DroppedRecords(); n == 0 {
+		t.Error("wedged store dropped nothing")
+	} else if n >= writes {
+		t.Errorf("all %d records dropped; queue accepted none", writes)
+	}
+	if err := sink.Err(); err != nil {
+		t.Errorf("backpressure drops set Err: %v", err)
+	}
+	close(gate.gate) // unwedge so shutdown can seal what was accepted
+	if err := sink.CloseFiles(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Err(); err != nil {
+		t.Fatal(err)
+	}
+	// What the queue accepted survived the wedge.
+	r, err := store.OpenReader("job1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := r.TotalCaptures(), int64(writes)-sink.DroppedRecords(); got != want {
+		t.Errorf("read back %d captures, want %d (=%d written - %d dropped)",
+			got, want, writes, sink.DroppedRecords())
+	}
+}
+
+// failFS fails every segment-file Create: the structural-failure path,
+// as opposed to backpressure.
+type failFS struct {
+	dfs.FileSystem
+}
+
+var errDiskGone = errors.New("disk gone")
+
+func (f *failFS) Create(path string) (io.WriteCloser, error) {
+	if strings.HasSuffix(path, ".seg") {
+		return nil, errDiskGone
+	}
+	return f.FileSystem.Create(path)
+}
+
+// TestSinkWriteErrorVsDropAccounting pins the distinction between the
+// two loss ledgers: a structural write failure surfaces in Err (and
+// counts the segment's records as lost), while Drop-policy overflow
+// only ever increments DroppedRecords. A reader of the stats must be
+// able to tell "storage broke" from "storage was slow".
+func TestSinkWriteErrorVsDropAccounting(t *testing.T) {
+	store := NewStore(&failFS{dfs.NewMemFS()}, "t")
+	sink, err := store.NewSink(JobMeta{JobID: "job1", NumWorkers: 1}, WithSynchronous(), WithSegmentSize(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	werr := sink.WorkerSink(0).WriteVertexCapture(sampleVertexCapture())
+	if werr == nil {
+		t.Fatal("write into a failing store succeeded")
+	}
+	if err := sink.Err(); !errors.Is(err, errDiskGone) {
+		t.Errorf("Err() = %v, want the storage failure", err)
+	}
+	if n := sink.DroppedRecords(); n != 1 {
+		t.Errorf("lost-record count = %d, want 1", n)
+	}
+}
+
+// TestSinkBarrierFlushRace hammers one worker sink from its producer
+// goroutine while the coordinator runs barrier flushes and stats
+// queries, the way the engine drives a live sink. Run under -race this
+// pins the locking around the shared lane batch.
+func TestSinkBarrierFlushRace(t *testing.T) {
+	store := NewStore(dfs.NewMemFS(), "t")
+	sink, err := store.NewSink(JobMeta{JobID: "job1", NumWorkers: 1},
+		WithBatchSize(4), WithQueueCapacity(32), WithSegmentSize(256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writes = 400
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		w := sink.WorkerSink(0)
+		for i := 0; i < writes; i++ {
+			c := sampleVertexCapture()
+			c.Superstep, c.ID = i/40, pregel.VertexID(i)
+			if err := w.WriteVertexCapture(c); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	for step := 0; step < 10; step++ {
+		if err := sink.BarrierFlush(step); err != nil {
+			t.Error(err)
+		}
+		sink.QueueDepth()
+		sink.DroppedRecords()
+	}
+	wg.Wait()
+	if err := sink.Finish(JobResult{Supersteps: 10, Captures: writes}); err != nil {
+		t.Fatal(err)
+	}
+	r, err := store.OpenReader("job1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := r.TotalCaptures(); n != writes {
+		t.Errorf("read back %d captures, want %d", n, writes)
+	}
+}
+
+// TestSinkUnindexedSegmentRecovery kills the index sidecar the way a
+// crash between a seal and the next barrier would, and expects the
+// reader to scan the orphaned segments back into view.
+func TestSinkUnindexedSegmentRecovery(t *testing.T) {
+	fs := dfs.NewMemFS()
+	store := NewStore(fs, "t")
+	writeSinkJob(t, store, "job1", WithSegmentSize(64))
+
+	before, err := store.OpenReader("job1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCaptures := before.TotalCaptures()
+
+	names, err := fs.List("t/job1/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	removed := 0
+	for _, n := range names {
+		if strings.HasSuffix(n, ".idx") {
+			if err := fs.Remove(n); err != nil {
+				t.Fatal(err)
+			}
+			removed++
+		}
+	}
+	if removed == 0 {
+		t.Fatal("no index sidecars to remove")
+	}
+
+	after, err := store.OpenReader("job1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := after.TotalCaptures(); got != wantCaptures {
+		t.Errorf("recovered %d captures from unindexed segments, want %d", got, wantCaptures)
+	}
+	if c := after.Capture(1, 201); c == nil || c.Worker != 1 {
+		t.Errorf("capture(1, 201) after index loss = %+v", c)
+	}
+}
+
+// TestOpenReaderLegacyFallback opens a job written by the legacy
+// whole-file writer through the new Reader and expects the same view.
+func TestOpenReaderLegacyFallback(t *testing.T) {
+	store := NewStore(dfs.NewMemFS(), "t")
+	jw, err := store.NewJobWriter(JobMeta{JobID: "old", Algorithm: "sp", NumWorkers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta := sampleMeta()
+	meta.Superstep = 0
+	if err := jw.Master().WriteSuperstepMeta(meta); err != nil {
+		t.Fatal(err)
+	}
+	c := sampleVertexCapture()
+	c.Superstep, c.ID, c.Worker = 0, 7, 0
+	if err := jw.Worker(0).WriteVertexCapture(c); err != nil {
+		t.Fatal(err)
+	}
+	if err := jw.Finish(JobResult{Supersteps: 1, Captures: 1}); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := store.OpenReader("old")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.JobMeta().Format == FormatSegments {
+		t.Errorf("legacy job reports format %q", r.JobMeta().Format)
+	}
+	if n := r.TotalCaptures(); n != 1 {
+		t.Errorf("total captures = %d", n)
+	}
+	if got := r.Capture(0, 7); got == nil || got.Worker != 0 {
+		t.Errorf("capture(0, 7) = %+v", got)
+	}
+	if res := r.JobResult(); res == nil || res.Captures != 1 {
+		t.Errorf("result = %+v", res)
+	}
+}
+
+// TestLoadDBReadsSegmentedJob pins the compatibility wrapper: LoadDB
+// on a segmented job materializes the same view the lazy reader serves.
+func TestLoadDBReadsSegmentedJob(t *testing.T) {
+	store := NewStore(dfs.NewMemFS(), "t")
+	writeSinkJob(t, store, "job1", WithSegmentSize(64))
+	db, err := store.LoadDB("job1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := store.OpenReader("job1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := DiffJobs(db, r)
+	if d := diff.FirstDivergence(); d != nil || len(diff.OnlyA) != 0 || len(diff.OnlyB) != 0 {
+		t.Errorf("LoadDB and OpenReader views differ: %+v", diff)
+	}
+	if db.TotalCaptures() != r.TotalCaptures() {
+		t.Errorf("captures: db=%d reader=%d", db.TotalCaptures(), r.TotalCaptures())
+	}
+}
+
+// TestSinkValidation mirrors the legacy writer's constructor checks.
+func TestSinkValidation(t *testing.T) {
+	store := NewStore(dfs.NewMemFS(), "t")
+	if _, err := store.NewSink(JobMeta{JobID: "", NumWorkers: 1}); err == nil {
+		t.Error("empty job ID accepted")
+	}
+	if _, err := store.NewSink(JobMeta{JobID: "x", NumWorkers: 0}); err == nil {
+		t.Error("zero workers accepted")
+	}
+}

@@ -70,6 +70,11 @@ func (s *Store) ListJobs() ([]string, error) {
 // JobWriter owns the open trace files of one instrumented job. Each
 // worker writer is used only by its worker goroutine; the master
 // writer only by the engine coordinator (listener callbacks).
+//
+// Deprecated: JobWriter writes the legacy whole-file layout and
+// exposes per-writer internals. New code should use Store.NewSink,
+// which hides the lanes behind the Sink interface and writes the
+// segmented, indexed format that Store.OpenReader can seek into.
 type JobWriter struct {
 	store       *Store
 	jobID       string
@@ -81,6 +86,9 @@ type JobWriter struct {
 }
 
 // NewJobWriter writes the manifest and opens all trace files.
+//
+// Deprecated: use Store.NewSink, which batches records through
+// background drainers into indexed segment files.
 func (s *Store) NewJobWriter(meta JobMeta) (*JobWriter, error) {
 	if meta.JobID == "" {
 		return nil, fmt.Errorf("trace: empty job ID")

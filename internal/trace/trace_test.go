@@ -89,7 +89,7 @@ func TestRecordRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r, err := NewReader(raw)
+	r, err := NewRecordReader(raw)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,10 +160,10 @@ func TestRecordRoundTrip(t *testing.T) {
 }
 
 func TestReaderRejectsBadMagic(t *testing.T) {
-	if _, err := NewReader([]byte("NOTATRACE")); !errors.Is(err, ErrBadMagic) {
+	if _, err := NewRecordReader([]byte("NOTATRACE")); !errors.Is(err, ErrBadMagic) {
 		t.Fatalf("err = %v", err)
 	}
-	if _, err := NewReader([]byte("GR")); !errors.Is(err, ErrBadMagic) {
+	if _, err := NewRecordReader([]byte("GR")); !errors.Is(err, ErrBadMagic) {
 		t.Fatalf("short file err = %v", err)
 	}
 }
@@ -180,7 +180,7 @@ func TestReaderRejectsCorruptRecord(t *testing.T) {
 	}
 	raw, _ := dfs.ReadFile(fs, "f.trace")
 	raw = raw[:len(raw)-3] // truncate mid-record
-	r, err := NewReader(raw)
+	r, err := NewRecordReader(raw)
 	if err != nil {
 		t.Fatal(err)
 	}
