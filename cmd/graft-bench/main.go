@@ -10,6 +10,7 @@
 //	graft-bench -chaos -scale 0.0005 -workers 8 -seed 42
 //	graft-bench -metrics -scale 0.0005 -reps 5 -out BENCH_metrics.json
 //	graft-bench -capture -scale 0.0005 -reps 5 -out BENCH_capture.json
+//	graft-bench -engine -scale 0.0002 -reps 5 -out BENCH_engine.json
 package main
 
 import (
@@ -28,7 +29,8 @@ func main() {
 	chaos := flag.Bool("chaos", false, "run the workloads under deterministic storage-fault injection")
 	metricsBench := flag.Bool("metrics", false, "measure the telemetry layer's own overhead and phase breakdowns")
 	captureBench := flag.Bool("capture", false, "compare the async capture pipeline against synchronous trace writes")
-	out := flag.String("out", "", "output file for the -metrics / -capture report (default BENCH_metrics.json / BENCH_capture.json)")
+	engineBench := flag.Bool("engine", false, "compare the lock-free lane message plane against the mutex-sharded plane")
+	out := flag.String("out", "", "output file for the -metrics / -capture / -engine report (default BENCH_<kind>.json)")
 	faultP := flag.Float64("fault-p", 0.3, "per-operation fault probability for -chaos")
 	scale := flag.Float64("scale", 0.0002, "dataset scale against paper sizes")
 	reps := flag.Int("reps", 5, "repetitions per cell (the paper used 5)")
@@ -144,6 +146,43 @@ func main() {
 				fmt.Println("capture check: OK (async beats sync at equal capture counts; lazy lookups read <= 1 segment)")
 			} else {
 				fmt.Println("capture check deviations:")
+				for _, p := range problems {
+					fmt.Println("  -", p)
+				}
+			}
+		}
+	case *engineBench:
+		workloads := harness.EngineWorkloads(*scale, *seed, *workers)
+		if *out == "" {
+			*out = "BENCH_engine.json"
+		}
+		fmt.Printf("Message plane: mutex-sharded vs lock-free lanes, combiner on/off, skewed vs uniform graphs (scale %g, %d reps, %d workers)\n",
+			*scale, *reps, *workers)
+		es, err := harness.RunEngineBench(workloads, harness.Options{
+			Reps: *reps, Seed: *seed, Progress: os.Stderr,
+		})
+		if err != nil {
+			log.Fatalf("graft-bench: %v", err)
+		}
+		fmt.Println()
+		harness.PrintEngineBench(os.Stdout, es)
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatalf("graft-bench: %v", err)
+		}
+		if err := harness.WriteEngineBenchJSON(f, es); err != nil {
+			log.Fatalf("graft-bench: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatalf("graft-bench: %v", err)
+		}
+		fmt.Printf("\nwrote %s\n", *out)
+		if *check {
+			problems := harness.CheckEngineBench(es)
+			if len(problems) == 0 {
+				fmt.Println("engine check: OK (lane plane beats mutex plane on combiner-enabled PageRank)")
+			} else {
+				fmt.Println("engine check deviations:")
 				for _, p := range problems {
 					fmt.Println("  -", p)
 				}

@@ -169,7 +169,21 @@ func cmdRun(args []string) error {
 	backpressure := fs.String("backpressure", "block", "capture queue policy when full: block or drop")
 	queueCap := fs.Int("capture-queue", trace.DefaultQueueCapacity, "per-worker capture queue depth")
 	syncCapture := fs.Bool("sync-capture", false, "write trace records inline instead of through the async pipeline")
+	msgPlane := fs.String("msg-plane", "lanes", "message plane: lanes (lock-free per-sender lanes) or mutex (sharded locks)")
+	msgBatch := fs.Int("msg-batch", 0, "messages buffered per destination partition before flushing (0: default 1024)")
+	rebalanceSkew := fs.Float64("rebalance-skew", 0, "migrate hot vertices off stragglers when compute/message skew exceeds this ratio (0 disables)")
+	rebalanceMaxMoves := fs.Int("rebalance-max-moves", 0, "cap on vertices migrated per rebalance (0: default 1024)")
 	fs.Parse(args)
+
+	var plane pregel.PlaneMode
+	switch *msgPlane {
+	case "lanes":
+		plane = pregel.PlaneLanes
+	case "mutex":
+		plane = pregel.PlaneMutex
+	default:
+		return fmt.Errorf("unknown -msg-plane %q (lanes, mutex)", *msgPlane)
+	}
 
 	a, err := buildAlgorithm(*alg, *seed, *supersteps)
 	if err != nil {
@@ -190,11 +204,15 @@ func cmdRun(args []string) error {
 		id = fmt.Sprintf("%s-%d", a.Name, time.Now().UnixNano())
 	}
 	engCfg := pregel.Config{
-		NumWorkers:     *workers,
-		Combiner:       a.Combiner,
-		Master:         a.Master,
-		MaxSupersteps:  a.MaxSupersteps,
-		DisableMetrics: *noMetrics,
+		NumWorkers:        *workers,
+		Combiner:          a.Combiner,
+		Master:            a.Master,
+		MaxSupersteps:     a.MaxSupersteps,
+		DisableMetrics:    *noMetrics,
+		MessagePlane:      plane,
+		MsgFlushBatch:     *msgBatch,
+		RebalanceSkew:     *rebalanceSkew,
+		RebalanceMaxMoves: *rebalanceMaxMoves,
 	}
 
 	var reg *metrics.Registry
@@ -340,6 +358,9 @@ func cmdRun(args []string) error {
 	}
 	if stats.Recoveries > 0 || stats.Faults.Any() {
 		fmt.Printf("resilience: recoveries=%d %s\n", stats.Recoveries, stats.Faults)
+	}
+	if stats.Rebalances > 0 {
+		fmt.Printf("rebalancer: %d migrations moved %d vertices\n", stats.Rebalances, stats.VerticesMigrated)
 	}
 	if session != nil {
 		fmt.Printf("captures: %d (limit hit: %v)\n", session.Captures(), session.LimitHit())

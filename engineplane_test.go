@@ -1,0 +1,221 @@
+package graft
+
+import (
+	"fmt"
+	"testing"
+
+	"graft/internal/algorithms"
+	"graft/internal/dfs"
+	"graft/internal/graphgen"
+	"graft/internal/pregel"
+	"graft/internal/trace"
+)
+
+// tracedPlaneRun executes one fully-captured job and returns its trace
+// view. crashAt >= 0 injects a single simulated worker crash at that
+// superstep, with checkpointing every 2 supersteps.
+func tracedPlaneRun(t *testing.T, g *Graph, alg *algorithms.Algorithm, stripCombiner bool, engine EngineConfig, crashAt int) (trace.View, *Stats) {
+	t.Helper()
+	if stripCombiner {
+		copy := *alg
+		copy.Combiner = nil
+		alg = &copy
+	}
+	if crashAt >= 0 {
+		engine.CheckpointEvery = 2
+		engine.CheckpointFS = dfs.NewMemFS()
+		crashed := false
+		engine.FailureAt = func(superstep int) bool {
+			if superstep == crashAt && !crashed {
+				crashed = true
+				return true
+			}
+			return false
+		}
+	}
+	store := NewStore(NewMemFS(), "traces")
+	res, err := RunAlgorithm(g, alg, RunOptions{
+		JobID:  "job",
+		Engine: engine,
+		Debug:  &DebugConfig{CaptureAllActive: true, MaxCaptures: -1},
+		Store:  store,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := store.LoadDB("job")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, res.Stats
+}
+
+func requireNoDiff(t *testing.T, label string, a, b trace.View) {
+	t.Helper()
+	d := trace.DiffJobs(a, b)
+	if len(d.OnlyA) > 0 || len(d.OnlyB) > 0 {
+		t.Fatalf("%s: capture sets differ: onlyA=%v onlyB=%v", label, d.OnlyA, d.OnlyB)
+	}
+	if len(d.StatusDiffs) > 0 {
+		t.Fatalf("%s: status differs at supersteps %v", label, d.StatusDiffs)
+	}
+	if fd := d.FirstDivergence(); fd != nil {
+		t.Fatalf("%s: %d divergences, first: %+v", label, len(d.Divergences), fd)
+	}
+}
+
+// TestPlaneEquivalenceProperty is the cross-plane property test: for
+// order-insensitive reductions (min-based combiners and min folds in
+// compute), the lane-matrix plane must produce bit-identical traces to
+// the seed mutex plane — same values, same halt states, same message
+// multisets — across algorithms, random graph seeds, combiner on/off,
+// and chaos (simulated crash + checkpoint recovery).
+func TestPlaneEquivalenceProperty(t *testing.T) {
+	cases := []struct {
+		name  string
+		alg   func() *algorithms.Algorithm
+		build func(seed int64) *Graph
+	}{
+		{
+			"cc",
+			algorithms.NewConnectedComponents,
+			func(seed int64) *Graph { return graphgen.SocialGraph(240, 5, seed) },
+		},
+		{
+			"sssp",
+			func() *algorithms.Algorithm { return algorithms.NewSSSP(0) },
+			func(seed int64) *Graph { return graphgen.WebGraph(240, 5, seed) },
+		},
+	}
+	for _, tc := range cases {
+		for _, combine := range []bool{true, false} {
+			for _, seed := range []int64{3, 11} {
+				for _, crashAt := range []int{-1, 1} {
+					label := fmt.Sprintf("%s/combiner=%v/seed=%d/crash=%d", tc.name, combine, seed, crashAt)
+					t.Run(label, func(t *testing.T) {
+						laneView, laneStats := tracedPlaneRun(t, tc.build(seed), tc.alg(), !combine,
+							EngineConfig{NumWorkers: 4, MessagePlane: pregel.PlaneLanes}, crashAt)
+						mutexView, mutexStats := tracedPlaneRun(t, tc.build(seed), tc.alg(), !combine,
+							EngineConfig{NumWorkers: 4, MessagePlane: pregel.PlaneMutex}, crashAt)
+						requireNoDiff(t, label, laneView, mutexView)
+						if laneStats.TotalMessages != mutexStats.TotalMessages {
+							t.Errorf("TotalMessages: lanes %d, mutex %d",
+								laneStats.TotalMessages, mutexStats.TotalMessages)
+						}
+					})
+				}
+			}
+		}
+	}
+}
+
+// TestPlaneEquivalencePageRankSingleWorker covers the order-sensitive
+// float case. With one worker both planes deliver in exact send order,
+// so even IEEE-addition-order-sensitive PageRank must be bit-identical
+// across planes, with and without its sum combiner.
+func TestPlaneEquivalencePageRankSingleWorker(t *testing.T) {
+	for _, combine := range []bool{true, false} {
+		t.Run(fmt.Sprintf("combiner=%v", combine), func(t *testing.T) {
+			build := func() *Graph { return graphgen.WebGraph(150, 4, 9) }
+			laneView, _ := tracedPlaneRun(t, build(), algorithms.NewPageRank(8, 0.85), !combine,
+				EngineConfig{NumWorkers: 1, MessagePlane: pregel.PlaneLanes}, -1)
+			mutexView, _ := tracedPlaneRun(t, build(), algorithms.NewPageRank(8, 0.85), !combine,
+				EngineConfig{NumWorkers: 1, MessagePlane: pregel.PlaneMutex}, -1)
+			requireNoDiff(t, "pagerank-1w", laneView, mutexView)
+		})
+	}
+}
+
+// TestLanePlaneRunToRunDeterminism: the lane plane merges inboxes in
+// canonical sender order, so even multi-worker float PageRank is
+// bit-reproducible run to run — the property the mutex plane cannot
+// offer. Verified via the canonical trace digest.
+func TestLanePlaneRunToRunDeterminism(t *testing.T) {
+	run := func() string {
+		view, _ := tracedPlaneRun(t, graphgen.WebGraph(200, 5, 4), algorithms.NewPageRank(6, 0.85), false,
+			EngineConfig{NumWorkers: 4, MessagePlane: pregel.PlaneLanes}, -1)
+		return trace.Digest(view)
+	}
+	first := run()
+	if again := run(); again != first {
+		t.Fatalf("lane-plane PageRank digest changed between runs:\n%s\nvs\n%s", first, again)
+	}
+}
+
+// broomGraph is a hub fanning out to spokes plus a path hanging off
+// one spoke: the hub concentrates message traffic on one partition
+// (deterministic skew for the rebalancer) while the path keeps the job
+// running long after migrations, exercising post-migration routing.
+func broomGraph(spokes, tail int) *Graph {
+	g := NewGraph()
+	addBoth := func(a, b VertexID) {
+		g.AddEdge(a, b, nil)
+		g.AddEdge(b, a, nil)
+	}
+	g.AddVertex(0, NewLong(0))
+	for i := 1; i <= spokes; i++ {
+		g.AddVertex(VertexID(i), NewLong(int64(i)))
+		addBoth(0, VertexID(i))
+	}
+	prev := VertexID(1)
+	for i := 0; i < tail; i++ {
+		id := VertexID(spokes + 1 + i)
+		g.AddVertex(id, NewLong(int64(id)))
+		addBoth(prev, id)
+		prev = id
+	}
+	return g
+}
+
+// TestRebalanceDigestDeterminism is the acceptance check that
+// repartitioning preserves replay determinism: the same job traced
+// with the skew rebalancer on and off must produce the same canonical
+// trace digest, because placement must never leak into computation.
+func TestRebalanceDigestDeterminism(t *testing.T) {
+	run := func(rebalance bool) (string, *Stats) {
+		cfg := EngineConfig{NumWorkers: 4, MessagePlane: pregel.PlaneLanes}
+		if rebalance {
+			cfg.RebalanceSkew = 1.3
+			cfg.RebalanceMaxMoves = 64
+		}
+		view, stats := tracedPlaneRun(t, broomGraph(300, 40), algorithms.NewConnectedComponents(), false, cfg, -1)
+		return trace.Digest(view), stats
+	}
+	offDigest, offStats := run(false)
+	onDigest, onStats := run(true)
+	if offStats.Rebalances != 0 {
+		t.Fatalf("control run migrated: %+v", offStats)
+	}
+	if onStats.Rebalances == 0 || onStats.VerticesMigrated == 0 {
+		t.Fatalf("rebalancer never triggered (skew too low?): %+v", onStats)
+	}
+	if onDigest != offDigest {
+		t.Fatalf("trace digest changed when rebalancer enabled:\noff: %s\non:  %s", offDigest, onDigest)
+	}
+}
+
+// TestRebalanceDigestDeterminismUnderChaos layers a crash and
+// checkpoint recovery on top: the restored reassignment table must
+// route exactly like the pre-crash one.
+func TestRebalanceDigestDeterminismUnderChaos(t *testing.T) {
+	run := func(rebalance bool) (string, *Stats) {
+		cfg := EngineConfig{NumWorkers: 4, MessagePlane: pregel.PlaneLanes}
+		if rebalance {
+			cfg.RebalanceSkew = 1.3
+			cfg.RebalanceMaxMoves = 64
+		}
+		view, stats := tracedPlaneRun(t, broomGraph(300, 40), algorithms.NewConnectedComponents(), false, cfg, 3)
+		return trace.Digest(view), stats
+	}
+	offDigest, _ := run(false)
+	onDigest, onStats := run(true)
+	if onStats.Recoveries != 1 {
+		t.Fatalf("recoveries = %d, want 1", onStats.Recoveries)
+	}
+	if onStats.Rebalances == 0 {
+		t.Fatalf("rebalancer never triggered: %+v", onStats)
+	}
+	if onDigest != offDigest {
+		t.Fatalf("digest with rebalancer+recovery diverged:\noff: %s\non:  %s", offDigest, onDigest)
+	}
+}

@@ -110,6 +110,16 @@ type (
 	Combiner = pregel.Combiner
 	// FaultStats aggregates storage-resilience counters for one job.
 	FaultStats = pregel.FaultStats
+	// MessagePlaneMode selects the engine's message delivery path
+	// (PlaneLanes or PlaneMutex) via EngineConfig.MessagePlane.
+	MessagePlaneMode = pregel.PlaneMode
+	// ImmutableValue marks values that are never mutated after
+	// creation, letting SendMessageToAllEdges skip per-edge clones
+	// when no combiner is installed.
+	ImmutableValue = pregel.ImmutableValue
+	// MigrationEvent records one barrier migration by the skew
+	// rebalancer, surfaced in SuperstepStats.Migrations.
+	MigrationEvent = pregel.MigrationEvent
 	// FaultPlan configures deterministic fault injection (see
 	// internal/faults).
 	FaultPlan = faults.Plan
@@ -122,6 +132,23 @@ type (
 	// primary keeps failing.
 	FallbackFS = faults.FallbackFS
 )
+
+// Message-plane modes for EngineConfig.MessagePlane.
+const (
+	// PlaneLanes is the default lock-free plane: per-sender inbox
+	// lanes with sender-side combining, merged by the owning worker
+	// after the superstep barrier in deterministic sender order.
+	PlaneLanes = pregel.PlaneLanes
+	// PlaneMutex is the seed mutex-sharded plane, kept as the
+	// benchmark baseline.
+	PlaneMutex = pregel.PlaneMutex
+)
+
+// TraceDigest computes a canonical SHA-256 of a trace's captured
+// computation, invariant to vertex placement and inbox arrival order;
+// two runs of the same deterministic job digest identically even when
+// partitioned differently (e.g. with the skew rebalancer on vs off).
+var TraceDigest = trace.Digest
 
 // Backpressure policies for the capture pipeline.
 const (

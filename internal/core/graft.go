@@ -490,10 +490,10 @@ func (g *Graft) capture(ctx pregel.Context, v *pregel.Vertex, msgs []pregel.Valu
 	for i, m := range msgs {
 		c.Incoming[i] = pregel.CloneValue(m)
 	}
+	// Values in rec.outgoing are already private clones (made at send
+	// time); only the slice header is reused across vertices.
 	c.Outgoing = make([]trace.OutMsg, len(rec.outgoing))
-	for i, m := range rec.outgoing {
-		c.Outgoing[i] = trace.OutMsg{To: m.To, Value: pregel.CloneValue(m.Value)}
-	}
+	copy(c.Outgoing, rec.outgoing)
 	// The sink owns drop accounting: Drop-policy discards and failed
 	// segment commits are counted there, without poisoning Err().
 	_ = g.workerSinks[ctx.WorkerID()].WriteVertexCapture(c)
@@ -540,16 +540,25 @@ func (c *recordingContext) SendMessage(to pregel.VertexID, msg pregel.Value) {
 			Value: pregel.CloneValue(msg),
 		})
 	}
-	c.outgoing = append(c.outgoing, trace.OutMsg{To: to, Value: msg})
+	// The record must clone at send time: once msg reaches the plane a
+	// combiner may mutate it in place (sender-side combining folds later
+	// sends into stored entries during this same compute call), which
+	// would retroactively rewrite the recorded value.
+	c.outgoing = append(c.outgoing, trace.OutMsg{To: to, Value: pregel.CloneValue(msg)})
 	c.Context.SendMessage(to, msg)
 }
 
 // SendMessageToAllEdges implements pregel.Context, routing every copy
-// through the recording SendMessage.
+// through the recording SendMessage. The original is sent on the last
+// edge for the same reason as the engine's own implementation: the
+// plane owns a Value once sent and may mutate it, so cloning msg after
+// handing it off would copy combiner mutations into later recipients.
 func (c *recordingContext) SendMessageToAllEdges(v *pregel.Vertex, msg pregel.Value) {
-	for i, e := range v.Edges() {
+	edges := v.Edges()
+	last := len(edges) - 1
+	for i, e := range edges {
 		m := msg
-		if i > 0 {
+		if i < last {
 			m = msg.Clone()
 		}
 		c.SendMessage(e.Target, m)

@@ -6,9 +6,11 @@ import (
 	"html/template"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"graft/internal/metrics"
+	"graft/internal/pregel"
 )
 
 // AttachMetrics mounts a live metrics registry into the GUI: the
@@ -42,6 +44,19 @@ func (s *Server) jobMetrics(jobID string) (metrics.JobMetrics, error) {
 	return jm, err
 }
 
+// migrationSummary renders a superstep's rebalancer migrations for the
+// dashboard table.
+func migrationSummary(ms []pregel.MigrationEvent) string {
+	if len(ms) == 0 {
+		return "—"
+	}
+	parts := make([]string, len(ms))
+	for i, m := range ms {
+		parts[i] = fmt.Sprintf("%d→%d: %d", m.From, m.To, m.Vertices)
+	}
+	return strings.Join(parts, ", ")
+}
+
 // ms renders a duration as fractional milliseconds.
 func ms(d time.Duration) string {
 	return fmt.Sprintf("%.2f", float64(d.Microseconds())/1000)
@@ -61,6 +76,9 @@ type metricsStepRow struct {
 	ComputeSkew, MessageSkew  string
 	Straggler                 string
 	Hot                       bool
+	// Migrated summarizes the rebalancer's migrations at this barrier
+	// ("from→to: n vertices"), or "—" when none happened.
+	Migrated string
 }
 
 type metricsWorkerRow struct {
@@ -107,6 +125,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			MessageSkew: fmt.Sprintf("%.2f", ss.MessageSkew),
 			Straggler:   straggler,
 			Hot:         ss.ComputeSkew >= skewHot,
+			Migrated:    migrationSummary(ss.Migrations),
 		})
 		computeMs = append(computeMs, float64(ss.ComputeTime.Microseconds())/1000)
 		sentVals = append(sentVals, float64(ss.MessagesSent))
@@ -159,6 +178,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		FlushTotal                         string
 		MaxCaptureQueue                    int
 		MaxComputeSkew, MaxMessageSkew     string
+		Rebalances                         int
+		Migrated                           int64
+		HasMigrations                      bool
 		Sent, Combined, Received, Vertices int64
 		Recoveries                         int
 		Faults                             string
@@ -180,6 +202,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		MaxCaptureQueue: jm.Totals.MaxCaptureQueueDepth,
 		MaxComputeSkew:  fmt.Sprintf("%.2f", jm.Totals.MaxComputeSkew),
 		MaxMessageSkew:  fmt.Sprintf("%.2f", jm.Totals.MaxMessageSkew),
+		Rebalances:      jm.Totals.Rebalances,
+		Migrated:        jm.Totals.VerticesMigrated,
+		HasMigrations:   jm.Totals.Rebalances > 0,
 		Sent:            jm.Totals.MessagesSent, Combined: jm.Totals.MessagesCombined,
 		Received: jm.Totals.MessagesReceived, Vertices: jm.Totals.VerticesProcessed,
 		Recoveries:        jm.Recoveries,

@@ -181,6 +181,8 @@ indicators (max/mean ratios; a superstep is flagged when a worker runs
 <th>Max skew (compute / msg)</th><td>{{.MaxComputeSkew}} / {{.MaxMessageSkew}}</td></tr>
 {{if .HasFaults}}<tr><th>Recoveries</th><td>{{.Recoveries}}</td>
 <th>Faults</th><td colspan="5">{{.Faults}}</td></tr>{{end}}
+{{if .HasMigrations}}<tr><th>Rebalances</th><td>{{.Rebalances}}</td>
+<th>Vertices migrated</th><td colspan="5">{{.Migrated}}</td></tr>{{end}}
 </table>
 <table><tr>
 <th>compute time / superstep</th><th>messages sent / superstep</th><th>compute skew / superstep</th>
@@ -192,14 +194,14 @@ indicators (max/mean ratios; a superstep is flagged when a worker runs
 <tr><th>Superstep</th><th>Vertices</th><th>Active after</th><th>Sent</th><th>Combined</th>
 <th>Received</th><th>Compute (ms)</th><th>Barrier (ms)</th><th>Capture (ms)</th>
 <th>Flush (ms)</th><th>Queue</th>
-<th>Compute skew</th><th>Msg skew</th><th>Straggler</th></tr>
+<th>Compute skew</th><th>Msg skew</th><th>Straggler</th><th>Migrated</th></tr>
 {{range .Rows}}
 <tr{{if .Hot}} style="background:#fee"{{end}}>
 <td><a href="?superstep={{.Superstep}}">{{.Superstep}}</a></td>
 <td>{{.Vertices}}</td><td>{{.Active}}</td><td>{{.Sent}}</td><td>{{.Combined}}</td>
 <td>{{.Received}}</td><td>{{.Compute}}</td><td>{{.Barrier}}</td><td>{{.Capture}}</td>
 <td>{{.Flush}}</td><td>{{.QueueDepth}}</td>
-<td>{{.ComputeSkew}}</td><td>{{.MessageSkew}}</td><td>{{.Straggler}}</td>
+<td>{{.ComputeSkew}}</td><td>{{.MessageSkew}}</td><td>{{.Straggler}}</td><td>{{.Migrated}}</td>
 </tr>
 {{end}}
 </table>

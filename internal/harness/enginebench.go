@@ -1,0 +1,267 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"text/tabwriter"
+	"time"
+
+	"graft/internal/algorithms"
+	"graft/internal/graphgen"
+	"graft/internal/pregel"
+)
+
+// EngineBench is one cell row of the message-plane experiment behind
+// `graft-bench -engine`: the same workload run through the seed
+// mutex-sharded message plane and through the lock-free lane plane
+// (per-sender inbox lanes with sender-side combining). For skewed
+// graphs a third cell layers the skew-driven rebalancer on top of the
+// lane plane and reports its migration counters.
+//
+// The mutex and lane repetitions are interleaved with alternating
+// order and summarized by the fastest repetition, the same
+// methodology as the capture benchmark: noise on a shared host is
+// strictly additive, so the minimum is the least contaminated
+// estimate of each cell's true cost.
+type EngineBench struct {
+	Workload string `json:"workload"`
+	// Algorithm and Shape name the grid cell: pagerank/cc over a
+	// skewed (preferential-attachment web) or uniform (regular
+	// bipartite) graph.
+	Algorithm string `json:"algorithm"`
+	Shape     string `json:"shape"`
+	// Combiner reports whether the algorithm's combiner was active:
+	// with it the lane plane also combines on the sender side; without
+	// it the comparison isolates the lock-free delivery path.
+	Combiner bool `json:"combiner"`
+	Reps     int  `json:"reps"`
+	Workers  int  `json:"workers"`
+	// MutexNanos / LanesNanos are the fastest repetitions of each plane.
+	MutexNanos int64 `json:"mutex_ns"`
+	LanesNanos int64 `json:"lanes_ns"`
+	// Speedup is MutexNanos/LanesNanos: >1 means the lane plane won.
+	Speedup float64 `json:"speedup"`
+	// Supersteps / MessagesSent / MessagesCombined come from the lane
+	// run; the harness verifies supersteps and message totals match
+	// across planes before trusting the timing comparison.
+	Supersteps       int   `json:"supersteps"`
+	MessagesSent     int64 `json:"messages_sent"`
+	MessagesCombined int64 `json:"messages_combined"`
+	// RebalanceNanos is the fastest lanes+rebalancer repetition on
+	// skewed graphs (0 when the cell did not run), with the migration
+	// counters the adaptive repartitioner reported.
+	RebalanceNanos   int64 `json:"rebalance_ns,omitempty"`
+	Rebalances       int   `json:"rebalances,omitempty"`
+	VerticesMigrated int64 `json:"vertices_migrated,omitempty"`
+}
+
+// EngineWorkload is one (algorithm, graph) point of the engine grid.
+type EngineWorkload struct {
+	Label     string
+	Algorithm string
+	Shape     string
+	Make      func() *algorithms.Algorithm
+	Build     func() *pregel.Graph
+	Workers   int
+	// Skewed marks graphs with concentrated hot vertices, where the
+	// rebalancer cell runs.
+	Skewed bool
+}
+
+// EngineWorkloads returns the message-plane grid: PageRank and
+// connected components over a skewed preferential-attachment web
+// graph and a uniform regular bipartite graph.
+func EngineWorkloads(scale float64, seed int64, workers int) []EngineWorkload {
+	n := int(30_000_000 * scale)
+	if n < 2000 {
+		n = 2000
+	}
+	web := func() *pregel.Graph { return graphgen.WebGraph(n, 8, seed) }
+	bp := func() *pregel.Graph { return graphgen.RegularBipartite(n, 8) }
+	pr := func() *algorithms.Algorithm { return algorithms.NewPageRank(10, 0.85) }
+	cc := algorithms.NewConnectedComponents
+	return []EngineWorkload{
+		{Label: "PR-web", Algorithm: "pagerank", Shape: "skewed", Make: pr, Build: web, Workers: workers, Skewed: true},
+		{Label: "PR-bp", Algorithm: "pagerank", Shape: "uniform", Make: pr, Build: bp, Workers: workers},
+		{Label: "CC-web", Algorithm: "cc", Shape: "skewed", Make: cc, Build: web, Workers: workers, Skewed: true},
+		{Label: "CC-bp", Algorithm: "cc", Shape: "uniform", Make: cc, Build: bp, Workers: workers},
+	}
+}
+
+// engineRun executes one undebugged repetition of a workload through
+// the given message plane.
+func engineRun(wl EngineWorkload, base *pregel.Graph, combine bool, cfg pregel.Config) (time.Duration, *pregel.Stats, error) {
+	runtime.GC()
+	g := base.Clone()
+	alg := wl.Make()
+	if !combine {
+		alg.Combiner = nil
+	}
+	cfg.NumWorkers = wl.Workers
+	job := alg.Configure(g, cfg)
+	start := time.Now()
+	stats, err := job.Run()
+	if err != nil {
+		return 0, nil, err
+	}
+	return time.Since(start), stats, nil
+}
+
+// RunEngineBench measures the lock-free message plane against the
+// seed mutex plane across the workload grid, with and without
+// combiners, plus a lanes+rebalancer cell on the skewed graphs.
+func RunEngineBench(workloads []EngineWorkload, opts Options) ([]EngineBench, error) {
+	if opts.Reps <= 0 {
+		opts.Reps = 5
+	}
+	var out []EngineBench
+	for _, wl := range workloads {
+		base := wl.Build()
+		for _, combine := range []bool{true, false} {
+			label := fmt.Sprintf("%s/combiner=%v", wl.Label, combine)
+			var mutexTimes, laneTimes []time.Duration
+			var mutexStats, laneStats *pregel.Stats
+			for rep := -1; rep < opts.Reps; rep++ {
+				var mt, lt time.Duration
+				runMutex := func() error {
+					var err error
+					mt, mutexStats, err = engineRun(wl, base, combine,
+						pregel.Config{MessagePlane: pregel.PlaneMutex})
+					if err != nil {
+						return fmt.Errorf("harness: %s mutex: %w", label, err)
+					}
+					return nil
+				}
+				runLanes := func() error {
+					var err error
+					lt, laneStats, err = engineRun(wl, base, combine,
+						pregel.Config{MessagePlane: pregel.PlaneLanes})
+					if err != nil {
+						return fmt.Errorf("harness: %s lanes: %w", label, err)
+					}
+					return nil
+				}
+				first, second := runMutex, runLanes
+				if rep%2 != 0 {
+					first, second = runLanes, runMutex
+				}
+				if err := first(); err != nil {
+					return nil, err
+				}
+				if err := second(); err != nil {
+					return nil, err
+				}
+				if opts.Progress != nil {
+					fmt.Fprintf(opts.Progress, "  %s rep %2d: mutex=%v lanes=%v\n", label, rep, mt, lt)
+				}
+				if rep < 0 {
+					continue // warmup
+				}
+				mutexTimes = append(mutexTimes, mt)
+				laneTimes = append(laneTimes, lt)
+			}
+			// The timing comparison is only meaningful if both planes ran
+			// the identical computation.
+			if mutexStats.Supersteps != laneStats.Supersteps ||
+				mutexStats.TotalMessages != laneStats.TotalMessages {
+				return nil, fmt.Errorf("harness: %s: planes diverged (mutex %d steps/%d msgs, lanes %d steps/%d msgs)",
+					label, mutexStats.Supersteps, mutexStats.TotalMessages,
+					laneStats.Supersteps, laneStats.TotalMessages)
+			}
+			mutexBest, laneBest := fastest(mutexTimes), fastest(laneTimes)
+			row := EngineBench{
+				Workload:     wl.Label,
+				Algorithm:    wl.Algorithm,
+				Shape:        wl.Shape,
+				Combiner:     combine,
+				Reps:         opts.Reps,
+				Workers:      wl.Workers,
+				MutexNanos:   mutexBest.Nanoseconds(),
+				LanesNanos:   laneBest.Nanoseconds(),
+				Supersteps:   laneStats.Supersteps,
+				MessagesSent: laneStats.TotalMessages,
+			}
+			for _, ss := range laneStats.PerSuperstep {
+				row.MessagesCombined += ss.MessagesCombined
+			}
+			if laneBest > 0 {
+				row.Speedup = float64(mutexBest) / float64(laneBest)
+			}
+			// The rebalancer cell: lanes plus adaptive repartitioning on
+			// the skewed graphs, in the combiner-on configuration only (its
+			// production shape).
+			if wl.Skewed && combine {
+				var rebTimes []time.Duration
+				for rep := 0; rep < opts.Reps; rep++ {
+					rt, rstats, err := engineRun(wl, base, combine, pregel.Config{
+						MessagePlane:  pregel.PlaneLanes,
+						RebalanceSkew: 1.2,
+					})
+					if err != nil {
+						return nil, fmt.Errorf("harness: %s rebalance: %w", label, err)
+					}
+					rebTimes = append(rebTimes, rt)
+					row.Rebalances = rstats.Rebalances
+					row.VerticesMigrated = rstats.VerticesMigrated
+				}
+				row.RebalanceNanos = fastest(rebTimes).Nanoseconds()
+			}
+			out = append(out, row)
+			if opts.Progress != nil {
+				fmt.Fprintf(opts.Progress, "%-22s mutex=%8.2fms lanes=%8.2fms speedup=%.2fx\n",
+					label, float64(mutexBest.Microseconds())/1000,
+					float64(laneBest.Microseconds())/1000, row.Speedup)
+			}
+		}
+	}
+	return out, nil
+}
+
+// PrintEngineBench renders the message-plane rows as a table.
+func PrintEngineBench(w io.Writer, es []EngineBench) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "workload\tcombiner\tmutex\tlanes\tspeedup\tsteps\tsent\tcombined\trebalanced\tmigrated")
+	for _, e := range es {
+		reb := "—"
+		if e.RebalanceNanos > 0 {
+			reb = fmt.Sprintf("%v (%d moves)", time.Duration(e.RebalanceNanos).Round(time.Microsecond), e.Rebalances)
+		}
+		fmt.Fprintf(tw, "%s\t%v\t%s\t%s\t%.2fx\t%d\t%d\t%d\t%s\t%d\n",
+			e.Workload, e.Combiner,
+			time.Duration(e.MutexNanos).Round(time.Microsecond),
+			time.Duration(e.LanesNanos).Round(time.Microsecond),
+			e.Speedup, e.Supersteps, e.MessagesSent, e.MessagesCombined,
+			reb, e.VerticesMigrated)
+	}
+	tw.Flush()
+}
+
+// WriteEngineBenchJSON writes the rows as indented JSON (the
+// BENCH_engine.json artifact).
+func WriteEngineBenchJSON(w io.Writer, es []EngineBench) error {
+	b, err := json.MarshalIndent(es, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// CheckEngineBench verifies the acceptance claim: on the
+// combiner-enabled PageRank cells — the configuration where
+// sender-side combining collapses the fan-in before it ever reaches a
+// shard — the lane plane must be strictly faster than the mutex plane.
+func CheckEngineBench(es []EngineBench) []string {
+	var problems []string
+	for _, e := range es {
+		if e.Algorithm == "pagerank" && e.Combiner && e.LanesNanos >= e.MutexNanos {
+			problems = append(problems, fmt.Sprintf(
+				"%s: lane plane (%v) not faster than mutex plane (%v)",
+				e.Workload, time.Duration(e.LanesNanos), time.Duration(e.MutexNanos)))
+		}
+	}
+	return problems
+}

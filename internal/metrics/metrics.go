@@ -54,6 +54,12 @@ type Totals struct {
 	MaxComputeSkew float64 `json:"max_compute_skew"`
 	// MaxMessageSkew is the worst per-superstep message imbalance.
 	MaxMessageSkew float64 `json:"max_message_skew"`
+	// Rebalances counts barriers at which the skew rebalancer migrated
+	// vertices (absent unless adaptive repartitioning is enabled).
+	Rebalances int `json:"rebalances,omitempty"`
+	// VerticesMigrated counts vertices the rebalancer moved between
+	// partitions over the job.
+	VerticesMigrated int64 `json:"vertices_migrated,omitempty"`
 }
 
 // add folds one superstep into the rollup.
@@ -74,6 +80,10 @@ func (t *Totals) add(ss pregel.SuperstepStats) {
 	}
 	if ss.MessageSkew > t.MaxMessageSkew {
 		t.MaxMessageSkew = ss.MessageSkew
+	}
+	for _, m := range ss.Migrations {
+		t.Rebalances++
+		t.VerticesMigrated += m.Vertices
 	}
 }
 

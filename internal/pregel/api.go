@@ -204,6 +204,21 @@ type SuperstepStats struct {
 	CaptureQueueDepth int `json:"capture_queue,omitempty"`
 	// Workers holds the per-worker breakdown, indexed by worker ID.
 	Workers []WorkerStepStats `json:"workers,omitempty"`
+	// Migrations records the vertex migrations the skew rebalancer
+	// performed at this superstep's barrier (empty unless
+	// Config.RebalanceSkew triggered).
+	Migrations []MigrationEvent `json:"migrations,omitempty"`
+}
+
+// MigrationEvent records one rebalancer migration: Vertices vertices
+// (carrying Edges out-edges) moved from partition From to partition To
+// because the superstep's skew indicator read Skew.
+type MigrationEvent struct {
+	From     int     `json:"from"`
+	To       int     `json:"to"`
+	Vertices int64   `json:"vertices"`
+	Edges    int64   `json:"edges"`
+	Skew     float64 `json:"skew"`
 }
 
 // WorkerStepStats is the telemetry of one worker during one superstep,

@@ -25,7 +25,9 @@ type FileSystem interface {
 	Remove(path string) error
 }
 
-const checkpointMagic = "GRFTCKPT1"
+// checkpointMagic identifies the checkpoint format. Version 2 added
+// the rebalancer's vertex-reassignment table after the aggregators.
+const checkpointMagic = "GRFTCKPT2"
 
 func (en *engine) checkpointPath(superstep int) string {
 	return fmt.Sprintf("%scheckpoint_%08d", en.cfg.CheckpointPrefix, superstep)
@@ -47,19 +49,36 @@ func (en *engine) writeCheckpoint() error {
 		e.PutString(name)
 		EncodeTyped(e, en.broadcast[name])
 	}
+	// The rebalancer's reassignment table, in ascending vertex order:
+	// without it a restored engine would route migrated vertices' mail
+	// back to their hash partition.
+	moved := make([]VertexID, 0, len(en.reassigned))
+	for id := range en.reassigned {
+		moved = append(moved, id)
+	}
+	sort.Slice(moved, func(i, j int) bool { return moved[i] < moved[j] })
+	e.PutUvarint(uint64(len(moved)))
+	for _, id := range moved {
+		e.PutVarint(int64(id))
+		e.PutUvarint(uint64(en.reassigned[id]))
+	}
+	// The ID scratch slice is shared across partitions and message
+	// shards: sorting dominates, so reusing the backing array keeps the
+	// encode path allocation-free once it has grown.
+	var scratch []VertexID
 	for _, p := range en.parts {
-		ids := make([]VertexID, 0, len(p.verts))
+		scratch = scratch[:0]
 		for id := range p.verts {
-			ids = append(ids, id)
+			scratch = append(scratch, id)
 		}
-		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-		e.PutUvarint(uint64(len(ids)))
-		for _, id := range ids {
+		sort.Slice(scratch, func(i, j int) bool { return scratch[i] < scratch[j] })
+		e.PutUvarint(uint64(len(scratch)))
+		for _, id := range scratch {
 			p.verts[id].encode(e)
 		}
 	}
 	for i := range en.parts {
-		en.cur.encode(i, e)
+		scratch = en.cur.encode(i, e, scratch)
 	}
 
 	path := en.checkpointPath(en.superstep)
@@ -178,6 +197,22 @@ func (en *engine) restore(raw []byte) error {
 		}
 		broadcast[name] = v
 	}
+	nMoved := int(d.Uvarint())
+	if d.Err() != nil {
+		return d.Err()
+	}
+	var reassigned map[VertexID]int
+	if nMoved > 0 {
+		reassigned = make(map[VertexID]int, nMoved)
+		for i := 0; i < nMoved; i++ {
+			id := VertexID(d.Varint())
+			p := int(d.Uvarint())
+			if p < 0 || p >= numParts {
+				return fmt.Errorf("pregel: checkpoint reassigns vertex %d to partition %d of %d", id, p, numParts)
+			}
+			reassigned[id] = p
+		}
+	}
 	parts := make([]*partition, numParts)
 	for i := range parts {
 		p := &partition{idx: i, verts: make(map[VertexID]*Vertex)}
@@ -197,7 +232,7 @@ func (en *engine) restore(raw []byte) error {
 		}
 		parts[i] = p
 	}
-	cur := newMessageStore(numParts, en.cfg.Combiner)
+	cur := newMessageStore(numParts, en.cfg.Combiner, en.cfg.MessagePlane, en.pool)
 	for i := 0; i < numParts; i++ {
 		if err := cur.decodeInto(i, d); err != nil {
 			return err
@@ -209,9 +244,10 @@ func (en *engine) restore(raw []byte) error {
 
 	en.parts = parts
 	en.cur = cur
-	en.next = newMessageStore(numParts, en.cfg.Combiner)
+	en.next = newMessageStore(numParts, en.cfg.Combiner, en.cfg.MessagePlane, en.pool)
 	en.broadcast = broadcast
 	en.superstep = superstep
+	en.reassigned = reassigned
 
 	// Re-point the input graph at the restored vertex objects; the
 	// pre-failure ones are stale and must not be what callers read

@@ -2,8 +2,10 @@ package pregel
 
 import "fmt"
 
-// msgFlushBatch is how many outgoing messages a worker buffers per
-// destination partition before taking the destination shard's lock.
+// msgFlushBatch is the default for Config.MsgFlushBatch: how many
+// outgoing messages a worker buffers per destination partition before
+// handing them to the message plane (a lane append in PlaneLanes mode,
+// a shard-lock acquisition in PlaneMutex mode).
 const msgFlushBatch = 1024
 
 // workerCtx implements Context for one worker during one superstep.
@@ -13,8 +15,19 @@ type workerCtx struct {
 	superstep   int
 	numVertices int64
 	numEdges    int64
+	flushBatch  int
 
-	out        [][]msgEntry
+	// out is the PlaneMutex send buffer, one slice per destination
+	// partition.
+	out [][]msgEntry
+	// lane is the PlaneLanes send buffer: the open pooled batch per
+	// destination partition, handed to the lane matrix when full.
+	lane []*msgBatch
+	// laneIdx maps destination vertex to its entry index in the open
+	// batch, for sender-side combining. Non-nil only in PlaneLanes mode
+	// with a combiner installed.
+	laneIdx []map[VertexID]int
+
 	sent       int64
 	aggPartial map[string]Value
 	removals   []VertexID
@@ -47,22 +60,87 @@ func (c *workerCtx) Aggregate(name string, val Value) {
 }
 
 func (c *workerCtx) SendMessage(to VertexID, msg Value) {
-	p := c.en.partitionFor(to)
-	c.out[p] = append(c.out[p], msgEntry{to: to, msg: msg})
 	c.sent++
-	if len(c.out[p]) >= msgFlushBatch {
+	p := c.en.partitionFor(to)
+	if c.lane != nil {
+		c.laneSend(p, to, msg)
+		return
+	}
+	c.out[p] = append(c.out[p], msgEntry{to: to, msg: msg})
+	if len(c.out[p]) >= c.flushBatch {
 		c.en.next.deliver(p, c.out[p])
 		c.out[p] = c.out[p][:0]
 	}
 }
 
+// laneSend buffers one message on the PlaneLanes path. With a combiner
+// installed it combines at the sender: messages to a destination
+// already in the open batch merge in place, so the lane (and the
+// merge at the barrier) sees pre-combined traffic.
+//
+// Sender-side combining is adaptive per destination partition. The
+// index lookup costs one map operation per send while the savings are
+// one merge-time map operation per hit, so the index only pays for
+// itself on concentrated fan-in (hub-heavy graphs, where nearly every
+// send collapses in place); on spread-out traffic it is pure overhead
+// on top of the merge-time combine that happens anyway. Each flushed
+// batch votes: a batch whose sends mostly missed the index turns it
+// off for this partition for the rest of the superstep.
+func (c *workerCtx) laneSend(p int, to VertexID, msg Value) {
+	b := c.lane[p]
+	if b == nil {
+		b = c.en.pool.get()
+		c.lane[p] = b
+	}
+	if c.laneIdx != nil && c.laneIdx[p] != nil {
+		if i, ok := c.laneIdx[p][to]; ok {
+			b.entries[i].msg = c.en.cfg.Combiner.Combine(to, b.entries[i].msg, msg)
+			b.n++
+			b.combined++
+			return
+		}
+		c.laneIdx[p][to] = len(b.entries)
+	}
+	b.entries = append(b.entries, msgEntry{to: to, msg: msg})
+	b.n++
+	if len(b.entries) >= c.flushBatch {
+		if c.laneIdx != nil && c.laneIdx[p] != nil {
+			if b.combined*4 >= b.n*3 {
+				clear(c.laneIdx[p])
+			} else {
+				c.laneIdx[p] = nil
+				c.en.laneCombineOff[c.worker][p] = true
+			}
+		}
+		c.en.next.laneAppend(c.worker, p, b)
+		c.lane[p] = nil
+	}
+}
+
 func (c *workerCtx) SendMessageToAllEdges(v *Vertex, msg Value) {
-	// Each recipient must get its own Value: a combiner is allowed to
-	// mutate stored messages, so sharing one object across inboxes
-	// would corrupt them.
+	// Each recipient normally gets its own Value: a combiner is allowed
+	// to mutate stored messages, so sharing one object across inboxes
+	// would corrupt them. Values that declare themselves immutable can
+	// skip the per-edge clone when no combiner is installed — nothing
+	// will ever write to the shared object.
+	if c.en.cfg.Combiner == nil {
+		if _, immutable := msg.(ImmutableValue); immutable {
+			for i := range v.edges {
+				c.SendMessage(v.edges[i].Target, msg)
+			}
+			return
+		}
+	}
+	// The original is sent on the LAST edge, clones on the ones before:
+	// once a Value is handed to SendMessage the plane owns it, and with
+	// sender-side combining a combiner may mutate it in place while the
+	// loop is still running (duplicate parallel edges to one target).
+	// Cloning msg after handing it off would copy that mutation into
+	// later recipients.
+	last := len(v.edges) - 1
 	for i := range v.edges {
 		m := msg
-		if i > 0 {
+		if i < last {
 			m = msg.Clone()
 		}
 		c.SendMessage(v.edges[i].Target, m)
@@ -78,6 +156,20 @@ func (c *workerCtx) AddVertexRequest(id VertexID, value Value) {
 }
 
 func (c *workerCtx) flushAll() {
+	if c.lane != nil {
+		for p, b := range c.lane {
+			if b == nil {
+				continue
+			}
+			if len(b.entries) > 0 {
+				c.en.next.laneAppend(c.worker, p, b)
+			} else {
+				c.en.pool.put(b)
+			}
+			c.lane[p] = nil
+		}
+		return
+	}
 	for p := range c.out {
 		if len(c.out[p]) > 0 {
 			c.en.next.deliver(p, c.out[p])

@@ -60,6 +60,12 @@ type Stats struct {
 	// RecoveryTime is the portion of Runtime spent restoring
 	// checkpoints after simulated worker crashes.
 	RecoveryTime time.Duration
+	// Rebalances counts barriers at which the skew rebalancer migrated
+	// vertices (zero unless Config.RebalanceSkew is set).
+	Rebalances int
+	// VerticesMigrated counts vertices the rebalancer moved between
+	// partitions over the whole job.
+	VerticesMigrated int64
 	// PerSuperstep has one entry per executed superstep.
 	PerSuperstep []SuperstepStats
 }
@@ -74,6 +80,9 @@ func (s *Stats) String() string {
 	if s.Recoveries > 0 {
 		line += fmt.Sprintf(" recoveries=%d recovery-time=%v",
 			s.Recoveries, s.RecoveryTime.Round(time.Millisecond))
+	}
+	if s.Rebalances > 0 {
+		line += fmt.Sprintf(" rebalances=%d migrated=%d", s.Rebalances, s.VerticesMigrated)
 	}
 	return line
 }
@@ -148,6 +157,25 @@ type Config struct {
 	// a handful of clock reads per worker per superstep; the switch
 	// exists so graft-bench can measure exactly what it costs.
 	DisableMetrics bool
+	// MessagePlane selects the message transport. The zero value is
+	// PlaneLanes, the lock-free per-sender lane matrix with sender-side
+	// combining; PlaneMutex is the legacy shard-lock path kept as the
+	// benchmark baseline.
+	MessagePlane PlaneMode
+	// MsgFlushBatch is how many outgoing messages a worker buffers per
+	// destination partition before flushing to the message plane; 0
+	// means the default (1024).
+	MsgFlushBatch int
+	// RebalanceSkew enables skew-driven adaptive repartitioning: when a
+	// superstep's ComputeSkew or MessageSkew reaches this threshold
+	// (max/mean; 1.0 is perfectly balanced), the hottest vertices
+	// migrate off the straggler partition at the barrier. 0 disables
+	// rebalancing. Requires telemetry, so it is ignored when
+	// DisableMetrics is set.
+	RebalanceSkew float64
+	// RebalanceMaxMoves caps the vertices migrated per rebalance; 0
+	// means the default (1024).
+	RebalanceMaxMoves int
 }
 
 type aggEntry struct {
@@ -221,6 +249,14 @@ func (p *partition) compactIfNeeded() {
 	if p.removed <= len(p.ids)/2 || p.removed == 0 {
 		return
 	}
+	p.rebuildIDs()
+}
+
+// rebuildIDs regenerates the iteration order from the live vertex set,
+// purging stale entries. Besides compaction, the rebalancer needs it to
+// keep ids duplicate-free when a vertex moves into a partition that
+// still lists it from before an earlier migration or removal.
+func (p *partition) rebuildIDs() {
 	ids := make([]VertexID, 0, len(p.verts))
 	for id := range p.verts {
 		ids = append(ids, id)
@@ -252,19 +288,36 @@ type workerResult struct {
 }
 
 type engine struct {
-	job       *Job
-	cfg       *Config
-	parts     []*partition
-	cur, next *messageStore
-	broadcast map[string]Value
-	superstep int
-	stats     Stats
+	job        *Job
+	cfg        *Config
+	parts      []*partition
+	cur, next  *messageStore
+	broadcast  map[string]Value
+	superstep  int
+	stats      Stats
+	pool       *batchPool
+	flushBatch int
+	// reassigned records vertices the skew rebalancer moved away from
+	// their hash partition; partitionFor consults it. Nil until the
+	// first migration, so the disabled rebalancer costs one nil check.
+	reassigned map[VertexID]int
+	// laneCombineOff[w][p] records that worker w's traffic to partition
+	// p missed the sender-side combining index too often to keep paying
+	// for it; the verdict is sticky across supersteps because the
+	// fan-in pattern is a property of the graph, not of one superstep.
+	// Row w is written only by worker w (and read when building its
+	// next context, after the barrier), so no synchronization.
+	laneCombineOff [][]bool
 
 	lastCheckpoint int // superstep of the last written checkpoint, -1 if none
 }
 
 func newEngine(j *Job) *engine {
-	en := &engine{job: j, cfg: &j.cfg, lastCheckpoint: -1}
+	en := &engine{job: j, cfg: &j.cfg, lastCheckpoint: -1, pool: &batchPool{}}
+	en.flushBatch = j.cfg.MsgFlushBatch
+	if en.flushBatch <= 0 {
+		en.flushBatch = msgFlushBatch
+	}
 	w := j.cfg.NumWorkers
 	en.parts = make([]*partition, w)
 	for i := range en.parts {
@@ -278,8 +331,14 @@ func newEngine(j *Job) *engine {
 		p.ids = append(p.ids, id)
 		p.edges += int64(len(v.edges))
 	}
-	en.cur = newMessageStore(w, j.cfg.Combiner)
-	en.next = newMessageStore(w, j.cfg.Combiner)
+	if j.cfg.MessagePlane == PlaneLanes && j.cfg.Combiner != nil {
+		en.laneCombineOff = make([][]bool, w)
+		for i := range en.laneCombineOff {
+			en.laneCombineOff[i] = make([]bool, w)
+		}
+	}
+	en.cur = en.newStore()
+	en.next = en.newStore()
 	en.broadcast = make(map[string]Value, len(j.aggs))
 	for name, entry := range j.aggs {
 		en.broadcast[name] = entry.agg.CreateInitial()
@@ -287,9 +346,21 @@ func newEngine(j *Job) *engine {
 	return en
 }
 
+// newStore builds a message store in the engine's configured plane
+// mode, sharing the engine-wide batch pool.
+func (en *engine) newStore() *messageStore {
+	return newMessageStore(len(en.parts), en.cfg.Combiner, en.cfg.MessagePlane, en.pool)
+}
+
 // partitionFor hashes a vertex ID to a worker. Fibonacci hashing keeps
 // consecutive IDs (the common case for generated graphs) spread evenly.
+// Vertices moved by the skew rebalancer route to their new owner.
 func (en *engine) partitionFor(id VertexID) int {
+	if en.reassigned != nil {
+		if p, ok := en.reassigned[id]; ok {
+			return p
+		}
+	}
 	h := uint64(id) * 0x9E3779B97F4A7C15
 	return int(h % uint64(len(en.parts)))
 }
@@ -417,6 +488,9 @@ func (en *engine) run(start time.Time) (*Stats, error) {
 		ss.MessagesCombined = en.next.combinedTotal()
 		if collect {
 			en.foldTelemetry(&ss, results, phaseWall)
+			if en.cfg.RebalanceSkew > 0 {
+				en.rebalance(&ss)
+			}
 		}
 		// Barrier flush: listeners with an async capture pipeline drain
 		// and commit it here, so everything captured up to this barrier
@@ -449,7 +523,7 @@ func (en *engine) run(start time.Time) (*Stats, error) {
 
 		pending := en.next.total() - droppedNow
 		en.cur = en.next
-		en.next = newMessageStore(len(en.parts), en.cfg.Combiner)
+		en.next = en.newStore()
 		en.superstep++
 		if active == 0 && pending == 0 {
 			en.stats.Reason = ReasonConverged
@@ -475,6 +549,34 @@ func (en *engine) safeMasterCompute(mctx *masterCtx) (err error) {
 	return nil
 }
 
+// newWorkerCtx builds the per-superstep Context for one worker, with
+// the send buffers matching the configured message plane.
+func (en *engine) newWorkerCtx(w int, nv, ne int64) *workerCtx {
+	ctx := &workerCtx{
+		en:          en,
+		worker:      w,
+		superstep:   en.superstep,
+		numVertices: nv,
+		numEdges:    ne,
+		flushBatch:  en.flushBatch,
+		aggPartial:  map[string]Value{},
+	}
+	if en.cfg.MessagePlane == PlaneLanes {
+		ctx.lane = make([]*msgBatch, len(en.parts))
+		if en.cfg.Combiner != nil {
+			ctx.laneIdx = make([]map[VertexID]int, len(en.parts))
+			for i := range ctx.laneIdx {
+				if !en.laneCombineOff[w][i] {
+					ctx.laneIdx[i] = make(map[VertexID]int)
+				}
+			}
+		}
+	} else {
+		ctx.out = make([][]msgEntry, len(en.parts))
+	}
+	return ctx
+}
+
 func (en *engine) runWorker(w int, nv, ne int64) (workerResult, error) {
 	var res workerResult
 	part := en.parts[w]
@@ -489,15 +591,7 @@ func (en *engine) runWorker(w int, nv, ne int64) (workerResult, error) {
 			capBefore = ctr.CaptureNanos(w)
 		}
 	}
-	ctx := &workerCtx{
-		en:          en,
-		worker:      w,
-		superstep:   en.superstep,
-		numVertices: nv,
-		numEdges:    ne,
-		out:         make([][]msgEntry, len(en.parts)),
-		aggPartial:  map[string]Value{},
-	}
+	ctx := en.newWorkerCtx(w, nv, ne)
 	for i := 0; i < len(part.ids); i++ {
 		v, ok := part.verts[part.ids[i]]
 		if !ok {
@@ -599,13 +693,15 @@ func (en *engine) safeCompute(ctx *workerCtx, v *Vertex, msgs []Value) (err erro
 	return nil
 }
 
-// integrateMissing resolves messages addressed to vertices that do not
-// exist, at the barrier (Giraph's default vertex resolver): with
+// integrateMissing merges each lane-matrix column into its shard (in
+// PlaneLanes mode) and resolves messages addressed to vertices that do
+// not exist, at the barrier (Giraph's default vertex resolver): with
 // CreateMissingVertices the vertex is created so it computes next
 // superstep; otherwise the messages are removed from the store and
-// counted as dropped. Each partition is scanned by its own goroutine;
-// the coordinator then mirrors the created vertices into the input
-// graph so callers observe them after the run.
+// counted as dropped. Each partition is handled by its own goroutine —
+// the post-barrier single reader the lane design relies on; the
+// coordinator then mirrors the created vertices into the input graph
+// so callers observe them after the run.
 func (en *engine) integrateMissing() int64 {
 	dropped := make([]int64, len(en.parts))
 	created := make([][]*Vertex, len(en.parts))
@@ -614,6 +710,7 @@ func (en *engine) integrateMissing() int64 {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			en.next.mergeLane(w)
 			part := en.parts[w]
 			for _, id := range en.next.pendingIDs(w, part.verts) {
 				if en.cfg.CreateMissingVertices {
@@ -671,6 +768,7 @@ func (en *engine) applyMutations(results []workerResult) {
 	}
 	if len(additions) > 0 {
 		sort.Slice(additions, func(i, j int) bool { return additions[i].id < additions[j].id })
+		var dirty []*partition
 		for _, add := range additions {
 			p := en.parts[en.partitionFor(add.id)]
 			if _, exists := p.verts[add.id]; exists {
@@ -683,7 +781,17 @@ func (en *engine) applyMutations(results []workerResult) {
 			v := &Vertex{id: add.id, value: val, owner: p}
 			p.verts[add.id] = v
 			p.ids = append(p.ids, add.id)
+			if p.removed > 0 {
+				// p.ids may still hold a stale entry for this ID from an
+				// earlier removal; rebuild below so it is not computed twice.
+				dirty = append(dirty, p)
+			}
 			en.job.graph.vertices[add.id] = v
+		}
+		for _, p := range dirty {
+			if p.removed > 0 {
+				p.rebuildIDs()
+			}
 		}
 	}
 	for _, p := range en.parts {

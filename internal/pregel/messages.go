@@ -5,20 +5,99 @@ import (
 	"sync"
 )
 
-// msgEntry is one in-flight message.
+// PlaneMode selects the message-plane implementation.
+type PlaneMode int
+
+const (
+	// PlaneLanes is the lock-free plane: each worker appends pooled
+	// batches to its own row of a numWorkers × numWorkers lane matrix
+	// (single writer, no synchronization), and the owning worker merges
+	// its column into the shard map after the superstep barrier (single
+	// reader, ordered by the barrier). With a combiner installed,
+	// senders additionally pre-combine per destination vertex before
+	// flushing. This is the default.
+	PlaneLanes PlaneMode = iota
+	// PlaneMutex is the original shard-mutex plane: every flushed batch
+	// takes the destination shard's lock and combines at the receiver.
+	// Kept as the baseline the engine benchmark compares against.
+	PlaneMutex
+)
+
+func (m PlaneMode) String() string {
+	switch m {
+	case PlaneLanes:
+		return "lanes"
+	case PlaneMutex:
+		return "mutex"
+	}
+	return "unknown"
+}
+
+// msgEntry is one in-flight message. With sender-side combining a
+// single entry may stand for many logical sends.
 type msgEntry struct {
 	to  VertexID
 	msg Value
 }
 
+// msgBatch is one flushed batch of entries plus the logical message
+// counts behind them: n counts SendMessage calls, combined counts the
+// ones the sender merged away before flushing (n - combined == number
+// of entries surviving to the lane).
+type msgBatch struct {
+	entries  []msgEntry
+	n        int64
+	combined int64
+}
+
+// batchPool recycles msgBatch objects across flushes and supersteps so
+// the steady-state message plane allocates nothing the GC has to mark,
+// mirroring the pooled-batch design trace.Sink uses.
+type batchPool struct {
+	p sync.Pool
+}
+
+func (bp *batchPool) get() *msgBatch {
+	if b, ok := bp.p.Get().(*msgBatch); ok {
+		return b
+	}
+	return &msgBatch{entries: make([]msgEntry, 0, msgFlushBatch)}
+}
+
+func (bp *batchPool) put(b *msgBatch) {
+	// Zero the entries so the pool does not retain Value pointers.
+	for i := range b.entries {
+		b.entries[i] = msgEntry{}
+	}
+	b.entries = b.entries[:0]
+	b.n, b.combined = 0, 0
+	bp.p.Put(b)
+}
+
+// msgLane is one cell of the lane matrix: the batches one sender has
+// flushed toward one destination partition. Only the sending worker
+// appends during the compute phase; only the coordinator or the
+// destination's owning worker reads after the barrier.
+type msgLane struct {
+	batches  []*msgBatch
+	n        int64
+	combined int64
+}
+
 // messageStore holds the messages sent during one superstep for
-// delivery at the next. It is sharded by destination partition: writes
-// from any worker lock only the destination shard, while reads during
-// the next superstep are done exclusively by the shard's owning worker
-// and need no locking (the superstep barrier orders them).
+// delivery at the next. It is sharded by destination partition. In
+// PlaneMutex mode, writes from any worker lock the destination shard.
+// In PlaneLanes mode, writes go to the per-sender lane matrix without
+// synchronization and mergeLane folds each column into its shard map
+// at the barrier; reads during the next superstep are done exclusively
+// by the shard's owning worker and need no locking either way (the
+// superstep barrier orders them).
 type messageStore struct {
 	combiner Combiner
+	mode     PlaneMode
 	shards   []msgShard
+	lanes    [][]msgLane // [sender][dest]; nil in PlaneMutex mode
+	pool     *batchPool  // shared across the engine's stores; nil in PlaneMutex mode
 }
 
 type msgShard struct {
@@ -29,13 +108,14 @@ type msgShard struct {
 	c map[VertexID]Value
 	// n counts messages received (pre-combining), for stats.
 	n int64
-	// combined counts messages merged away by the combiner, for the
-	// telemetry layer (n - combined messages survive to delivery).
+	// combined counts messages merged away by the combiner (at the
+	// sender or the receiver), for the telemetry layer (n - combined
+	// messages survive to delivery).
 	combined int64
 }
 
-func newMessageStore(numShards int, combiner Combiner) *messageStore {
-	s := &messageStore{combiner: combiner, shards: make([]msgShard, numShards)}
+func newMessageStore(numShards int, combiner Combiner, mode PlaneMode, pool *batchPool) *messageStore {
+	s := &messageStore{combiner: combiner, mode: mode, shards: make([]msgShard, numShards)}
 	for i := range s.shards {
 		if combiner != nil {
 			s.shards[i].c = make(map[VertexID]Value)
@@ -43,10 +123,18 @@ func newMessageStore(numShards int, combiner Combiner) *messageStore {
 			s.shards[i].m = make(map[VertexID][]Value)
 		}
 	}
+	if mode == PlaneLanes {
+		s.pool = pool
+		s.lanes = make([][]msgLane, numShards)
+		for i := range s.lanes {
+			s.lanes[i] = make([]msgLane, numShards)
+		}
+	}
 	return s
 }
 
-// deliver appends a batch of messages to the destination shard.
+// deliver appends a batch of messages to the destination shard under
+// its lock (the PlaneMutex write path).
 func (s *messageStore) deliver(shard int, entries []msgEntry) {
 	sh := &s.shards[shard]
 	sh.mu.Lock()
@@ -68,9 +156,78 @@ func (s *messageStore) deliver(shard int, entries []msgEntry) {
 	sh.n += int64(len(entries))
 }
 
+// laneAppend hands one flushed batch to lane [sender][dest]. Only
+// worker `sender` may call it during the compute phase; the single
+// writer makes it synchronization-free.
+func (s *messageStore) laneAppend(sender, dest int, b *msgBatch) {
+	ln := &s.lanes[sender][dest]
+	ln.batches = append(ln.batches, b)
+	ln.n += b.n
+	ln.combined += b.combined
+}
+
+// mergeLane folds column `shard` of the lane matrix into the shard
+// map and returns the batches to the pool. It must run after the
+// superstep barrier, with exactly one goroutine touching the shard
+// (the destination's owning worker). Senders are merged in worker
+// order and batches in flush order, so the merged inbox order is
+// deterministic — unlike the mutex plane, where it depends on lock
+// acquisition order.
+func (s *messageStore) mergeLane(shard int) {
+	if s.mode != PlaneLanes {
+		return
+	}
+	sh := &s.shards[shard]
+	for sender := range s.lanes {
+		ln := &s.lanes[sender][shard]
+		if ln.n == 0 && len(ln.batches) == 0 {
+			continue
+		}
+		for _, b := range ln.batches {
+			if s.combiner != nil {
+				for _, en := range b.entries {
+					if cur, ok := sh.c[en.to]; ok {
+						sh.c[en.to] = s.combiner.Combine(en.to, cur, en.msg)
+						sh.combined++
+					} else {
+						sh.c[en.to] = en.msg
+					}
+				}
+			} else {
+				for _, en := range b.entries {
+					sh.m[en.to] = append(sh.m[en.to], en.msg)
+				}
+			}
+			s.pool.put(b)
+		}
+		sh.n += ln.n
+		sh.combined += ln.combined
+		ln.batches = nil
+		ln.n, ln.combined = 0, 0
+	}
+}
+
+// migrate moves the pending inbox of one vertex between shards, for
+// the skew rebalancer. Both shards must be merged and quiescent (the
+// coordinator calls it at the barrier).
+func (s *messageStore) migrate(from, to int, id VertexID) {
+	fs, ts := &s.shards[from], &s.shards[to]
+	if s.combiner != nil {
+		if v, ok := fs.c[id]; ok {
+			delete(fs.c, id)
+			ts.c[id] = v
+		}
+		return
+	}
+	if msgs, ok := fs.m[id]; ok {
+		delete(fs.m, id)
+		ts.m[id] = msgs
+	}
+}
+
 // take removes and returns the messages for one vertex. Only the
 // shard's owning worker may call it, after the sending superstep's
-// barrier.
+// barrier (and, in PlaneLanes mode, after mergeLane).
 func (s *messageStore) take(shard int, id VertexID) []Value {
 	sh := &s.shards[shard]
 	if s.combiner != nil {
@@ -111,31 +268,45 @@ func (s *messageStore) pendingIDs(shard int, exclude map[VertexID]*Vertex) []Ver
 }
 
 // total returns the number of messages received across all shards
-// (before combining).
+// (before combining), including messages still sitting in unmerged
+// lanes.
 func (s *messageStore) total() int64 {
 	var n int64
 	for i := range s.shards {
 		n += s.shards[i].n
 	}
+	for i := range s.lanes {
+		for j := range s.lanes[i] {
+			n += s.lanes[i][j].n
+		}
+	}
 	return n
 }
 
-// combinedTotal returns how many messages the combiner merged away
-// across all shards.
+// combinedTotal returns how many messages combiners merged away across
+// all shards and unmerged lanes.
 func (s *messageStore) combinedTotal() int64 {
 	var n int64
 	for i := range s.shards {
 		n += s.shards[i].combined
 	}
+	for i := range s.lanes {
+		for j := range s.lanes[i] {
+			n += s.lanes[i][j].combined
+		}
+	}
 	return n
 }
 
 // encode serializes the undelivered messages of one shard, for
-// checkpoints. Entries are written in ascending vertex order.
-func (s *messageStore) encode(shard int, e *Encoder) {
+// checkpoints. Entries are written in ascending vertex order. The
+// scratch slice is reused across shards (and checkpoints) to avoid
+// allocating a fresh ID slice per shard; the possibly-grown slice is
+// returned for the next call.
+func (s *messageStore) encode(shard int, e *Encoder, scratch []VertexID) []VertexID {
 	sh := &s.shards[shard]
+	ids := scratch[:0]
 	if s.combiner != nil {
-		ids := make([]VertexID, 0, len(sh.c))
 		for id := range sh.c {
 			ids = append(ids, id)
 		}
@@ -146,9 +317,8 @@ func (s *messageStore) encode(shard int, e *Encoder) {
 			e.PutUvarint(1)
 			EncodeTyped(e, sh.c[id])
 		}
-		return
+		return ids
 	}
-	ids := make([]VertexID, 0, len(sh.m))
 	for id := range sh.m {
 		ids = append(ids, id)
 	}
@@ -162,6 +332,7 @@ func (s *messageStore) encode(shard int, e *Encoder) {
 			EncodeTyped(e, m)
 		}
 	}
+	return ids
 }
 
 // decodeInto restores one shard from its encoded form.

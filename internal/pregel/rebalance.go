@@ -1,0 +1,132 @@
+package pregel
+
+import "sort"
+
+// defaultRebalanceMaxMoves is used when Config.RebalanceMaxMoves is 0.
+const defaultRebalanceMaxMoves = 1024
+
+// rebalance is the skew-driven adaptive repartitioner. It runs on the
+// coordinator at the barrier, after foldTelemetry and the lane merge,
+// when Config.RebalanceSkew is set: if the superstep's compute or
+// message skew reached the threshold, it migrates the hottest vertices
+// (by out-degree, the deterministic proxy for message work) off the
+// straggler partition to the least-loaded one — vertex objects,
+// pending next-superstep messages, and the routing table consulted by
+// partitionFor, so checkpoints and recovery stay consistent. Placement
+// never changes computation semantics, only which worker runs a
+// vertex, so traces and results are identical with the rebalancer on
+// or off.
+func (en *engine) rebalance(ss *SuperstepStats) {
+	if len(en.parts) < 2 || len(ss.Workers) != len(en.parts) {
+		return
+	}
+	thr := en.cfg.RebalanceSkew
+	from, skew := -1, 0.0
+	switch {
+	case ss.ComputeSkew >= thr && ss.Straggler >= 0:
+		from, skew = ss.Straggler, ss.ComputeSkew
+	case ss.MessageSkew >= thr:
+		skew = ss.MessageSkew
+		var maxSent int64 = -1
+		for _, w := range ss.Workers {
+			if w.MessagesSent > maxSent {
+				maxSent, from = w.MessagesSent, w.Worker
+			}
+		}
+	default:
+		return
+	}
+	src := en.parts[from]
+	if len(src.verts) < 2 {
+		return
+	}
+
+	// Receiver: the partition with the lightest load this superstep,
+	// lowest index on ties so the choice is reproducible.
+	to := -1
+	for w := range ss.Workers {
+		if w == from {
+			continue
+		}
+		if to < 0 || lighter(&ss.Workers[w], &ss.Workers[to]) {
+			to = w
+		}
+	}
+	if to < 0 {
+		return
+	}
+	dst := en.parts[to]
+
+	// Move half the straggler's excess over the mean (skew = max/mean,
+	// so the excess fraction is 1 - 1/skew). Halving damps oscillation:
+	// the hottest vertices go first, so load moves faster than the
+	// vertex count suggests.
+	budget := int(float64(len(src.verts)) * (1 - 1/skew) / 2)
+	if max := en.rebalanceMaxMoves(); budget > max {
+		budget = max
+	}
+	if budget >= len(src.verts) {
+		budget = len(src.verts) - 1
+	}
+	if budget < 1 {
+		budget = 1
+	}
+
+	ids := make([]VertexID, 0, len(src.verts))
+	for id := range src.verts {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		di, dj := len(src.verts[ids[i]].edges), len(src.verts[ids[j]].edges)
+		if di != dj {
+			return di > dj
+		}
+		return ids[i] < ids[j]
+	})
+
+	if en.reassigned == nil {
+		en.reassigned = make(map[VertexID]int, budget)
+	}
+	var movedEdges int64
+	for _, id := range ids[:budget] {
+		v := src.verts[id]
+		delete(src.verts, id)
+		src.removed++
+		src.edges -= int64(len(v.edges))
+		dst.verts[id] = v
+		dst.ids = append(dst.ids, id)
+		dst.edges += int64(len(v.edges))
+		v.owner = dst
+		en.reassigned[id] = to
+		en.next.migrate(from, to, id)
+		movedEdges += int64(len(v.edges))
+	}
+	src.compactIfNeeded()
+	if dst.removed > 0 {
+		// dst may still list a moved-in vertex from before an earlier
+		// migration or removal; rebuilding keeps ids duplicate-free so
+		// no vertex computes twice.
+		dst.rebuildIDs()
+	}
+
+	ev := MigrationEvent{From: from, To: to, Vertices: int64(budget), Edges: movedEdges, Skew: skew}
+	ss.Migrations = append(ss.Migrations, ev)
+	en.stats.Rebalances++
+	en.stats.VerticesMigrated += int64(budget)
+}
+
+func (en *engine) rebalanceMaxMoves() int {
+	if en.cfg.RebalanceMaxMoves > 0 {
+		return en.cfg.RebalanceMaxMoves
+	}
+	return defaultRebalanceMaxMoves
+}
+
+// lighter orders workers by this superstep's load, compute time first
+// (what the skew trigger watches), messages sent as the tie-break.
+func lighter(a, b *WorkerStepStats) bool {
+	if a.ComputeTime != b.ComputeTime {
+		return a.ComputeTime < b.ComputeTime
+	}
+	return a.MessagesSent < b.MessagesSent
+}

@@ -28,6 +28,20 @@ type Value interface {
 	fmt.Stringer
 }
 
+// ImmutableValue marks Value implementations whose contents never
+// change after construction. The engine uses it to skip defensive
+// copies: SendMessageToAllEdges shares one immutable object across all
+// recipients instead of cloning per edge (when no combiner is
+// installed — combiners may mutate their operands, so combined
+// messages always get private copies). Declaring a mutable type
+// immutable corrupts inbox isolation; only add the marker to types
+// with no setters.
+type ImmutableValue interface {
+	Value
+	// ImmutableMarker is a no-op identifying the type as immutable.
+	ImmutableMarker()
+}
+
 // valueRegistry maps type names to factories so traces and checkpoints
 // can reconstruct concrete types.
 var valueRegistry = struct {

@@ -27,6 +27,10 @@ type NilValue struct{}
 // Nil returns the canonical NilValue.
 func Nil() *NilValue { return &NilValue{} }
 
+// ImmutableMarker identifies NilValue as safe to share across inboxes
+// (see ImmutableValue).
+func (*NilValue) ImmutableMarker() {}
+
 func (*NilValue) TypeName() string      { return "nil" }
 func (*NilValue) Encode(*Encoder)       {}
 func (*NilValue) Decode(*Decoder) error { return nil }
