@@ -11,6 +11,7 @@
 //	graft-bench -metrics -scale 0.0005 -reps 5 -out BENCH_metrics.json
 //	graft-bench -capture -scale 0.0005 -reps 5 -out BENCH_capture.json
 //	graft-bench -engine -scale 0.0002 -reps 5 -out BENCH_engine.json
+//	graft-bench -dfs -reps 5 -out BENCH_dfs.json
 package main
 
 import (
@@ -30,6 +31,7 @@ func main() {
 	metricsBench := flag.Bool("metrics", false, "measure the telemetry layer's own overhead and phase breakdowns")
 	captureBench := flag.Bool("capture", false, "compare the async capture pipeline against synchronous trace writes")
 	engineBench := flag.Bool("engine", false, "compare the lock-free lane message plane against the mutex-sharded plane")
+	dfsBench := flag.Bool("dfs", false, "compare the pipelined streaming DFS data path against the seed serial path")
 	out := flag.String("out", "", "output file for the -metrics / -capture / -engine report (default BENCH_<kind>.json)")
 	faultP := flag.Float64("fault-p", 0.3, "per-operation fault probability for -chaos")
 	scale := flag.Float64("scale", 0.0002, "dataset scale against paper sizes")
@@ -186,6 +188,43 @@ func main() {
 				for _, p := range problems {
 					fmt.Println("  -", p)
 				}
+			}
+		}
+	case *dfsBench:
+		if *out == "" {
+			*out = "BENCH_dfs.json"
+		}
+		fmt.Printf("DFS data path: seed serial vs pipelined streaming (%d nodes, replication %d, %d writers, %d reps, node delay %v/op)\n",
+			harness.DFSBenchNodes, harness.DFSBenchReplication, harness.DFSBenchWriters, *reps, harness.DFSBenchNodeDelay)
+		rows, err := harness.RunDFSBench(harness.Options{
+			Reps: *reps, Seed: *seed, Progress: os.Stderr,
+		})
+		if err != nil {
+			log.Fatalf("graft-bench: %v", err)
+		}
+		fmt.Println()
+		harness.PrintDFSBench(os.Stdout, rows)
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatalf("graft-bench: %v", err)
+		}
+		if err := harness.WriteDFSBenchJSON(f, rows); err != nil {
+			log.Fatalf("graft-bench: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatalf("graft-bench: %v", err)
+		}
+		fmt.Printf("\nwrote %s\n", *out)
+		if *check {
+			problems := harness.CheckDFSBench(rows)
+			if len(problems) == 0 {
+				fmt.Println("dfs check: OK (pipelined streaming path beats seed serial path on every workload)")
+			} else {
+				fmt.Println("dfs check deviations:")
+				for _, p := range problems {
+					fmt.Println("  -", p)
+				}
+				os.Exit(1)
 			}
 		}
 	case *chaos:

@@ -99,6 +99,15 @@ type (
 	BackpressurePolicy = trace.BackpressurePolicy
 	// FileSystem is the storage abstraction traces live in.
 	FileSystem = dfs.FileSystem
+	// Cluster simulates an HDFS-like replicated store: parallel
+	// pipelined block replication, streaming checksummed reads with
+	// read-ahead, node kill/revive, and damage-proportional healing.
+	Cluster = dfs.Cluster
+	// ClusterStats snapshots a Cluster's data-path counters (bytes
+	// moved, read-ahead hits, quarantined replicas).
+	ClusterStats = dfs.ClusterStats
+	// DataNode is one simulated storage node of a Cluster.
+	DataNode = dfs.DataNode
 	// Algorithm bundles a computation with its master, combiner and
 	// aggregators (see internal/algorithms for the library).
 	Algorithm = algorithms.Algorithm
@@ -203,6 +212,18 @@ func NewMemFS() *dfs.MemFS { return dfs.NewMemFS() }
 
 // NewLocalFS returns a file system rooted at a local directory.
 func NewLocalFS(dir string) (*dfs.LocalFS, error) { return dfs.NewLocalFS(dir) }
+
+// NewCluster returns a simulated distributed file system with numNodes
+// datanodes, the given replication factor and block size (0 means the
+// default of 64 KiB). See dfs.Cluster for the data-path guarantees.
+func NewCluster(numNodes, replication, blockSize int) *Cluster {
+	return dfs.NewCluster(numNodes, replication, blockSize)
+}
+
+// CorruptReplicas flips one seed-derived bit in one replica of every
+// nth block of a cluster — deterministic silent-corruption injection
+// for checksum experiments (see internal/faults).
+var CorruptReplicas = faults.CorruptReplicas
 
 // NewStore returns a trace store rooted at root within fs.
 //

@@ -1,0 +1,113 @@
+package faults
+
+import (
+	"bytes"
+	"testing"
+
+	"graft/internal/dfs"
+)
+
+// corruptTestCluster builds a 3-node, replication-3 cluster holding
+// one 4-block file (16-byte blocks), the shape the chaos acceptance
+// test wants: every node holds every block, and 4 mod 3 != 0 means
+// three sequential read passes land the rotating replica selection on
+// every replica position of every block.
+func corruptTestCluster(t *testing.T) (*dfs.Cluster, []byte) {
+	t.Helper()
+	c := dfs.NewCluster(3, 3, 16)
+	body := make([]byte, 64)
+	for i := range body {
+		body[i] = byte(i * 7)
+	}
+	if err := dfs.WriteFile(c, "trace/seg-0", body); err != nil {
+		t.Fatal(err)
+	}
+	return c, body
+}
+
+// TestCorruptReplicasChaos is the chaos acceptance test: with one
+// replica bit-flipped per block, every read still succeeds with
+// correct bytes, the corrupt replicas are detected and counted, and
+// Rereplicate restores full health.
+func TestCorruptReplicasChaos(t *testing.T) {
+	c, want := corruptTestCluster(t)
+	corrupted := CorruptReplicas(c, 42, 1)
+	if corrupted != 4 {
+		t.Fatalf("CorruptReplicas corrupted %d replicas, want 4 (one per block)", corrupted)
+	}
+	for pass := 0; pass < 3; pass++ {
+		got, err := dfs.ReadFile(c, "trace/seg-0")
+		if err != nil {
+			t.Fatalf("pass %d: read failed: %v", pass, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("pass %d: corrupt bytes reached the reader", pass)
+		}
+	}
+	if got := c.CorruptReads(); got != 4 {
+		t.Fatalf("CorruptReads = %d, want 4", got)
+	}
+	if got := c.UnderReplicated(); got != 4 {
+		t.Fatalf("UnderReplicated = %d, want 4 before heal", got)
+	}
+	if created := c.Rereplicate(); created != 4 {
+		t.Fatalf("Rereplicate created %d replicas, want 4", created)
+	}
+	if got := c.UnderReplicated(); got != 0 {
+		t.Fatalf("UnderReplicated = %d after heal, want 0", got)
+	}
+	if found := c.Scrub(); found != 0 {
+		t.Fatalf("Scrub found %d corrupt replicas after heal, want 0", found)
+	}
+}
+
+// TestCorruptReplicasDeterministic: the same seed must damage the same
+// replicas — the reproducibility contract every injector in this
+// package honors.
+func TestCorruptReplicasDeterministic(t *testing.T) {
+	survivors := func(seed int64) []int {
+		c, _ := corruptTestCluster(t)
+		if n := CorruptReplicas(c, seed, 1); n != 4 {
+			t.Fatalf("corrupted %d, want 4", n)
+		}
+		c.Scrub() // quarantine everything the seed damaged
+		var left []int
+		for _, b := range c.BlockIDs() {
+			left = append(left, c.ReplicaNodes(b)...)
+		}
+		return left
+	}
+	a, b := survivors(7), survivors(7)
+	if len(a) != len(b) {
+		t.Fatalf("same seed, different damage: %v vs %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed, different damage: %v vs %v", a, b)
+		}
+	}
+	// A different seed should (for this geometry) pick at least one
+	// different replica; equality here would mean the seed is ignored.
+	differs := false
+	d := survivors(8)
+	for i := range a {
+		if i < len(d) && a[i] != d[i] {
+			differs = true
+			break
+		}
+	}
+	if !differs {
+		t.Fatal("seeds 7 and 8 damaged identical replicas — seed not mixed in")
+	}
+}
+
+// TestCorruptReplicasStride: n > 1 corrupts every nth block only.
+func TestCorruptReplicasStride(t *testing.T) {
+	c, _ := corruptTestCluster(t)
+	if got := CorruptReplicas(c, 3, 2); got != 2 {
+		t.Fatalf("stride-2 over 4 blocks corrupted %d, want 2", got)
+	}
+	if found := c.Scrub(); found != 2 {
+		t.Fatalf("Scrub = %d, want 2", found)
+	}
+}

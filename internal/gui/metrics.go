@@ -88,6 +88,15 @@ type metricsWorkerRow struct {
 	Straggler                 bool
 }
 
+// dfsSummary renders the distributed-store data-path counters for the
+// dashboard's DFS row ("" when no DFS source was registered).
+func dfsSummary(jm metrics.JobMetrics) string {
+	if jm.DFS == nil {
+		return ""
+	}
+	return jm.DFS.String()
+}
+
 // handleMetrics renders the GiViP-style per-job dashboard: job-level
 // phase totals, sparklines over supersteps, the per-superstep
 // timing/skew table, and the per-worker breakdown of one superstep.
@@ -185,6 +194,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		Recoveries                         int
 		Faults                             string
 		HasFaults                          bool
+		DFS                                string
+		HasDFS                             bool
 		ComputeSpark, SentSpark, SkewSpark template.HTML
 		Rows                               []metricsStepRow
 		SelectedSuperstep                  int
@@ -210,6 +221,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		Recoveries:        jm.Recoveries,
 		Faults:            jm.Faults.String(),
 		HasFaults:         jm.Faults.Any() || jm.Recoveries > 0,
+		DFS:               dfsSummary(jm),
+		HasDFS:            jm.DFS != nil && jm.DFS.Any(),
 		ComputeSpark:      sparklineSVG(computeMs, 260, 48, "#246"),
 		SentSpark:         sparklineSVG(sentVals, 260, 48, "#2a2"),
 		SkewSpark:         sparklineSVG(skewVals, 260, 48, "#c33"),

@@ -183,6 +183,7 @@ indicators (max/mean ratios; a superstep is flagged when a worker runs
 <th>Faults</th><td colspan="5">{{.Faults}}</td></tr>{{end}}
 {{if .HasMigrations}}<tr><th>Rebalances</th><td>{{.Rebalances}}</td>
 <th>Vertices migrated</th><td colspan="5">{{.Migrated}}</td></tr>{{end}}
+{{if .HasDFS}}<tr><th>DFS traffic</th><td colspan="7">{{.DFS}}</td></tr>{{end}}
 </table>
 <table><tr>
 <th>compute time / superstep</th><th>messages sent / superstep</th><th>compute skew / superstep</th>

@@ -1,0 +1,74 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestDFSBenchShape runs one short repetition of the DFS data-path
+// experiment end to end and checks the row shape, the JSON artifact,
+// and the acceptance gate: the pipelined streaming path strictly beats
+// the seed serial path. The margin is structural — the serial cell
+// holds the namenode lock across every replica transfer while the
+// parallel cell overlaps them across nodes — so one repetition decides
+// it well clear of machine noise.
+func TestDFSBenchShape(t *testing.T) {
+	rows, err := RunDFSBench(Options{Reps: 1, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want sink-drain and trace-scan", len(rows))
+	}
+	byName := map[string]DFSBench{}
+	for _, r := range rows {
+		byName[r.Workload] = r
+		if r.SerialNanos <= 0 || r.ParallelNanos <= 0 {
+			t.Errorf("%s: missing timings: %+v", r.Workload, r)
+		}
+		if r.BytesWritten == 0 {
+			t.Errorf("%s: parallel cell reports no bytes written", r.Workload)
+		}
+	}
+	if byName["trace-scan"].BytesRead == 0 {
+		t.Error("trace-scan read nothing")
+	}
+	if byName["trace-scan"].Prefetches == 0 {
+		t.Error("trace-scan never hit the read-ahead")
+	}
+	if problems := CheckDFSBench(rows); len(problems) != 0 {
+		t.Errorf("acceptance gate failed:\n  %s", strings.Join(problems, "\n  "))
+	}
+
+	var buf bytes.Buffer
+	if err := WriteDFSBenchJSON(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	var decoded []DFSBench
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v", err)
+	}
+	if len(decoded) != len(rows) || decoded[0].Workload != rows[0].Workload {
+		t.Fatalf("artifact round trip lost rows: %+v", decoded)
+	}
+	var tbl bytes.Buffer
+	PrintDFSBench(&tbl, rows)
+	if !strings.Contains(tbl.String(), "sink-drain") {
+		t.Errorf("table output missing workload row:\n%s", tbl.String())
+	}
+}
+
+// TestCheckDFSBenchFlagsRegression: the gate must actually fire when
+// the parallel path is not faster.
+func TestCheckDFSBenchFlagsRegression(t *testing.T) {
+	rows := []DFSBench{{Workload: "sink-drain", SerialNanos: 100, ParallelNanos: 100}}
+	if problems := CheckDFSBench(rows); len(problems) == 0 {
+		t.Fatal("gate passed a parallel path that ties the serial path")
+	}
+	rows = []DFSBench{{Workload: "trace-scan", SerialNanos: 200, ParallelNanos: 100, Prefetches: 0}}
+	if problems := CheckDFSBench(rows); len(problems) == 0 {
+		t.Fatal("gate passed a streaming scan that never prefetched")
+	}
+}

@@ -52,6 +52,14 @@ func (r *Registry) ServeVars(w http.ResponseWriter, req *http.Request) {
 		"runtime.heap_alloc":        mem.HeapAlloc,
 		"runtime.num_gc":            mem.NumGC,
 	}
+	if snap.DFS != nil {
+		vars["graft.dfs.bytes_written"] = snap.DFS.BytesWritten
+		vars["graft.dfs.bytes_read"] = snap.DFS.BytesRead
+		vars["graft.dfs.prefetches"] = snap.DFS.Prefetches
+		vars["graft.dfs.corrupt_reads"] = snap.DFS.CorruptReads
+		vars["graft.dfs.write_retries"] = snap.DFS.WriteRetries
+		vars["graft.dfs.degraded_writes"] = snap.DFS.DegradedWrites
+	}
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

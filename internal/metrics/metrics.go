@@ -24,6 +24,7 @@ import (
 	"sync"
 	"time"
 
+	"graft/internal/dfs"
 	"graft/internal/pregel"
 )
 
@@ -123,6 +124,10 @@ type JobMetrics struct {
 	// the registered fault sources while the job runs, the engine's
 	// final folded FaultStats afterwards.
 	Faults pregel.FaultStats `json:"faults"`
+	// DFS carries the distributed-store data-path counters (bytes
+	// moved, read-ahead hits, quarantined replicas) when a DFS source
+	// is registered; nil otherwise.
+	DFS *dfs.ClusterStats `json:"dfs,omitempty"`
 }
 
 // Registry collects one job's metrics and serves them. It implements
@@ -134,7 +139,14 @@ type Registry struct {
 	mu      sync.Mutex
 	jm      JobMetrics
 	sources []pregel.FaultStatsProvider
+	dfsSrcs []DFSSource
 	sink    Sink
+}
+
+// DFSSource is a storage layer that exposes DFS data-path counters;
+// *dfs.Cluster implements it.
+type DFSSource interface {
+	Stats() dfs.ClusterStats
 }
 
 // Sink receives metrics events as they happen; the JSONL exporter
@@ -170,6 +182,20 @@ func (r *Registry) AddFaultSource(p pregel.FaultStatsProvider) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.sources = append(r.sources, p)
+}
+
+// AddDFSSource registers a cluster whose data-path counters (bytes
+// written/read, prefetch hits, corrupt replicas quarantined) are
+// snapshotted into /metrics and the dashboard. Multiple sources fold
+// together — a job may write traces and checkpoints to separate
+// clusters.
+func (r *Registry) AddDFSSource(s DFSSource) {
+	if s == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.dfsSrcs = append(r.dfsSrcs, s)
 }
 
 // JobStarted implements pregel.JobListener.
@@ -235,6 +261,13 @@ func (r *Registry) Snapshot() JobMetrics {
 			fs.Add(p.FaultStats())
 		}
 		snap.Faults = fs
+	}
+	if len(r.dfsSrcs) > 0 {
+		var ds dfs.ClusterStats
+		for _, s := range r.dfsSrcs {
+			ds.Add(s.Stats())
+		}
+		snap.DFS = &ds
 	}
 	return snap
 }

@@ -248,6 +248,7 @@ func (en *engine) restore(raw []byte) error {
 	en.broadcast = broadcast
 	en.superstep = superstep
 	en.reassigned = reassigned
+	en.recountActive()
 
 	// Re-point the input graph at the restored vertex objects; the
 	// pre-failure ones are stale and must not be what callers read

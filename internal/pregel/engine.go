@@ -176,6 +176,12 @@ type Config struct {
 	// RebalanceMaxMoves caps the vertices migrated per rebalance; 0
 	// means the default (1024).
 	RebalanceMaxMoves int
+	// NoPartitionSkip disables the halted-partition fast path: normally
+	// a partition with zero active vertices and no pending messages is
+	// skipped in the superstep scan (its worker would only iterate
+	// halted vertices and find empty inboxes). The escape hatch exists
+	// so tests can prove the fast path changes no observable behavior.
+	NoPartitionSkip bool
 }
 
 type aggEntry struct {
@@ -301,6 +307,13 @@ type engine struct {
 	// their hash partition; partitionFor consults it. Nil until the
 	// first migration, so the disabled rebalancer costs one nil check.
 	reassigned map[VertexID]int
+	// partActive[w] is the number of non-halted vertices in partition w,
+	// maintained at the barrier (worker results, mutations, missing-
+	// vertex creation, migration, recovery). Together with the message
+	// store's per-shard pending check it lets the superstep scan skip
+	// partitions that provably have no work — on convergence-tail
+	// workloads most of the cluster is halted most of the time.
+	partActive []int64
 	// laneCombineOff[w][p] records that worker w's traffic to partition
 	// p missed the sender-side combining index too often to keep paying
 	// for it; the verdict is sticky across supersteps because the
@@ -331,6 +344,8 @@ func newEngine(j *Job) *engine {
 		p.ids = append(p.ids, id)
 		p.edges += int64(len(v.edges))
 	}
+	en.partActive = make([]int64, w)
+	en.recountActive()
 	if j.cfg.MessagePlane == PlaneLanes && j.cfg.Combiner != nil {
 		en.laneCombineOff = make([][]bool, w)
 		for i := range en.laneCombineOff {
@@ -363,6 +378,22 @@ func (en *engine) partitionFor(id VertexID) int {
 	}
 	h := uint64(id) * 0x9E3779B97F4A7C15
 	return int(h % uint64(len(en.parts)))
+}
+
+// recountActive rebuilds partActive from the partitions' vertex halted
+// flags — the ground truth after bulk state swaps (engine construction,
+// checkpoint recovery), where incremental bookkeeping has nothing to
+// increment from.
+func (en *engine) recountActive() {
+	for i, p := range en.parts {
+		var n int64
+		for _, v := range p.verts {
+			if !v.halted {
+				n++
+			}
+		}
+		en.partActive[i] = n
+	}
 }
 
 func (en *engine) totals() (nv, ne int64) {
@@ -456,6 +487,15 @@ func (en *engine) run(start time.Time) (*Stats, error) {
 		errs := make([]error, len(en.parts))
 		var wg sync.WaitGroup
 		for w := range en.parts {
+			// Fast path: a partition whose vertices are all halted and
+			// whose inbox shard is empty would only scan halted vertices
+			// against empty inboxes — its worker result is identically
+			// zero, so skip launching it. (Lanes into this shard were
+			// merged by integrateMissing at the previous barrier, so the
+			// shard check is complete.)
+			if !en.cfg.NoPartitionSkip && en.partActive[w] == 0 && !en.cur.hasPending(w) {
+				continue
+			}
 			wg.Add(1)
 			go func(w int) {
 				defer wg.Done()
@@ -477,6 +517,8 @@ func (en *engine) run(start time.Time) (*Stats, error) {
 		var active int64
 		for w := range results {
 			active += results[w].active
+			// Skipped workers report zero, which is exactly their count.
+			en.partActive[w] = results[w].active
 		}
 		en.applyMutations(results)
 		en.mergeAggregators(results)
@@ -729,7 +771,8 @@ func (en *engine) integrateMissing() int64 {
 		}(w)
 	}
 	wg.Wait()
-	for _, vs := range created {
+	for w, vs := range created {
+		en.partActive[w] += int64(len(vs)) // resolver-created vertices start active
 		for _, v := range vs {
 			en.job.graph.vertices[v.id] = v
 		}
@@ -757,6 +800,9 @@ func (en *engine) applyMutations(results []workerResult) {
 			p := en.parts[en.partitionFor(id)]
 			if v, ok := p.verts[id]; ok {
 				p.edges -= int64(len(v.edges))
+				if !v.halted {
+					en.partActive[p.idx]--
+				}
 				// Removed vertices leave the computation but stay
 				// reachable through the input graph: their final state
 				// is often the algorithm's output (matching partners
@@ -781,6 +827,7 @@ func (en *engine) applyMutations(results []workerResult) {
 			v := &Vertex{id: add.id, value: val, owner: p}
 			p.verts[add.id] = v
 			p.ids = append(p.ids, add.id)
+			en.partActive[p.idx]++ // new vertices start active
 			if p.removed > 0 {
 				// p.ids may still hold a stale entry for this ID from an
 				// earlier removal; rebuild below so it is not computed twice.

@@ -225,6 +225,16 @@ func (s *messageStore) migrate(from, to int, id VertexID) {
 	}
 }
 
+// hasPending reports whether the shard holds any undelivered messages.
+// Valid only after every lane column has been merged into the shards
+// (integrateMissing does this at each barrier, and checkpoint recovery
+// decodes straight into shards), which is when the engine's partition
+// skip consults it.
+func (s *messageStore) hasPending(shard int) bool {
+	sh := &s.shards[shard]
+	return len(sh.c) > 0 || len(sh.m) > 0
+}
+
 // take removes and returns the messages for one vertex. Only the
 // shard's owning worker may call it, after the sending superstep's
 // barrier (and, in PlaneLanes mode, after mergeLane).

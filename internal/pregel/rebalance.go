@@ -93,6 +93,10 @@ func (en *engine) rebalance(ss *SuperstepStats) {
 		delete(src.verts, id)
 		src.removed++
 		src.edges -= int64(len(v.edges))
+		if !v.halted {
+			en.partActive[from]--
+			en.partActive[to]++
+		}
 		dst.verts[id] = v
 		dst.ids = append(dst.ids, id)
 		dst.edges += int64(len(v.edges))
