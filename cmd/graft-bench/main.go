@@ -12,6 +12,7 @@
 //	graft-bench -capture -scale 0.0005 -reps 5 -out BENCH_capture.json
 //	graft-bench -engine -scale 0.0002 -reps 5 -out BENCH_engine.json
 //	graft-bench -dfs -reps 5 -out BENCH_dfs.json
+//	graft-bench -recovery -scale 0.0002 -reps 5 -out BENCH_recovery.json
 package main
 
 import (
@@ -22,6 +23,7 @@ import (
 
 	"graft/internal/graphgen"
 	"graft/internal/harness"
+	"graft/internal/pregel"
 )
 
 func main() {
@@ -32,8 +34,10 @@ func main() {
 	captureBench := flag.Bool("capture", false, "compare the async capture pipeline against synchronous trace writes")
 	engineBench := flag.Bool("engine", false, "compare the lock-free lane message plane against the mutex-sharded plane")
 	dfsBench := flag.Bool("dfs", false, "compare the pipelined streaming DFS data path against the seed serial path")
+	recoveryBench := flag.Bool("recovery", false, "compare log-based confined recovery against full checkpoint restart")
 	out := flag.String("out", "", "output file for the -metrics / -capture / -engine report (default BENCH_<kind>.json)")
 	faultP := flag.Float64("fault-p", 0.3, "per-operation fault probability for -chaos")
+	chaosRecovery := flag.String("chaos-recovery", "log", "how the -chaos crash recovers: log (confined replay) or checkpoint (full restart)")
 	scale := flag.Float64("scale", 0.0002, "dataset scale against paper sizes")
 	reps := flag.Int("reps", 5, "repetitions per cell (the paper used 5)")
 	workers := flag.Int("workers", 8, "worker goroutines per job")
@@ -227,12 +231,59 @@ func main() {
 				os.Exit(1)
 			}
 		}
+	case *recoveryBench:
+		workloads := harness.RecoveryWorkloads(*scale, *seed, *workers)
+		if *out == "" {
+			*out = "BENCH_recovery.json"
+		}
+		fmt.Printf("Recovery: confined log replay vs full checkpoint restart, early vs late failures (scale %g, %d reps, %d workers, checkpoint every %d)\n",
+			*scale, *reps, *workers, harness.RecoveryBenchCheckpointEvery)
+		rs, err := harness.RunRecoveryBench(workloads, harness.Options{
+			Reps: *reps, Seed: *seed, Progress: os.Stderr,
+		})
+		if err != nil {
+			log.Fatalf("graft-bench: %v", err)
+		}
+		fmt.Println()
+		harness.PrintRecoveryBench(os.Stdout, rs)
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatalf("graft-bench: %v", err)
+		}
+		if err := harness.WriteRecoveryBenchJSON(f, rs); err != nil {
+			log.Fatalf("graft-bench: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatalf("graft-bench: %v", err)
+		}
+		fmt.Printf("\nwrote %s\n", *out)
+		if *check {
+			problems := harness.CheckRecoveryBench(rs)
+			if len(problems) == 0 {
+				fmt.Println("recovery check: OK (values match in both modes; confined replay beats restart on late failures)")
+			} else {
+				fmt.Println("recovery check deviations:")
+				for _, p := range problems {
+					fmt.Println("  -", p)
+				}
+				os.Exit(1)
+			}
+		}
 	case *chaos:
 		workloads := harness.StandardWorkloads(*scale, *seed, *workers)
-		fmt.Printf("Chaos sweep: workloads under seeded storage faults (scale %g, %d workers, seed %d, p=%g)\n",
-			*scale, *workers, *seed, *faultP)
+		var mode pregel.RecoveryMode
+		switch *chaosRecovery {
+		case "log":
+			mode = pregel.RecoveryLog
+		case "checkpoint":
+			mode = pregel.RecoveryCheckpoint
+		default:
+			log.Fatalf("graft-bench: unknown -chaos-recovery %q (log, checkpoint)", *chaosRecovery)
+		}
+		fmt.Printf("Chaos sweep: workloads under seeded storage faults (scale %g, %d workers, seed %d, p=%g, recovery=%s)\n",
+			*scale, *workers, *seed, *faultP, mode)
 		ms, err := harness.RunChaos(workloads, harness.ChaosOptions{
-			Seed: *seed, FaultP: *faultP, Progress: os.Stderr,
+			Seed: *seed, FaultP: *faultP, Recovery: mode, Progress: os.Stderr,
 		})
 		if err != nil {
 			log.Fatalf("graft-bench: %v", err)

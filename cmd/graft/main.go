@@ -158,6 +158,10 @@ func cmdRun(args []string) error {
 	jobID := fs.String("job", "", "job ID (default: <alg>-<timestamp>)")
 	checkpointEvery := fs.Int("checkpoint-every", 0, "checkpoint before every Nth superstep (0 disables)")
 	crashAt := fs.Int("crash-at", -1, "simulate a worker crash after this superstep (requires -checkpoint-every)")
+	crashPartition := fs.Int("crash-partition", -1, "with -crash-at, fail only this partition instead of the whole job (-2: seeded pick)")
+	recovery := fs.String("recovery", "checkpoint", "recovery mode for injected failures: checkpoint (full restart) or log (confined replay from sender-side outbox logs)")
+	msgLogDir := fs.String("msg-log-dir", "", "directory prefix for the -recovery=log outbox logs (in-memory, like checkpoints)")
+	checkpointRetain := fs.Int("checkpoint-retain", 0, "checkpoints retention GC keeps (0: default 2, negative: keep all)")
 	chaos := fs.Float64("chaos", 0, "per-operation storage fault probability injected into the checkpoint FS")
 	chaosSeed := fs.Int64("chaos-seed", 0, "seed for fault injection and retry jitter (default: -seed)")
 	metricsAddr := fs.String("metrics-addr", "", "serve live /metrics and /debug/vars on this address (e.g. :8090)")
@@ -272,16 +276,37 @@ func cmdRun(args []string) error {
 		engCfg.CheckpointEvery = *checkpointEvery
 		engCfg.CheckpointFS = ckptFS
 		engCfg.CheckpointPrefix = "ckpt/"
+		engCfg.CheckpointRetain = *checkpointRetain
+		switch *recovery {
+		case "checkpoint":
+		case "log":
+			engCfg.Recovery = pregel.RecoveryLog
+			engCfg.MsgLogFS = dfs.NewMemFS()
+			engCfg.MsgLogPrefix = *msgLogDir
+		default:
+			return fmt.Errorf("unknown -recovery %q (checkpoint, log)", *recovery)
+		}
 		if *crashAt >= 0 {
-			crashed := false
-			engCfg.FailureAt = func(superstep int) bool {
-				if superstep == *crashAt && !crashed {
-					crashed = true
-					return true
+			if *crashPartition != -1 {
+				victim := *crashPartition
+				if victim == -2 {
+					victim = faults.PickPartition(*chaosSeed, *workers)
+					fmt.Printf("crash: seeded victim partition %d of %d\n", victim, *workers)
 				}
-				return false
+				engCfg.PartitionFailureAt = faults.FailPartitionAt(*crashAt, victim)
+			} else {
+				crashed := false
+				engCfg.FailureAt = func(superstep int) bool {
+					if superstep == *crashAt && !crashed {
+						crashed = true
+						return true
+					}
+					return false
+				}
 			}
 		}
+	} else if *recovery != "checkpoint" {
+		return fmt.Errorf("-recovery=%s requires -checkpoint-every (confined replay rolls the failed partitions back to a checkpoint)", *recovery)
 	}
 	comp := a.Compute
 
@@ -358,6 +383,14 @@ func cmdRun(args []string) error {
 	}
 	if stats.Recoveries > 0 || stats.Faults.Any() {
 		fmt.Printf("resilience: recoveries=%d %s\n", stats.Recoveries, stats.Faults)
+		for _, ev := range stats.RecoveryEvents {
+			fmt.Printf("  recovery @%d: mode=%s partitions=%v from-ckpt=%d steps-replayed=%d msgs-replayed=%d took=%v\n",
+				ev.Superstep, ev.Mode, ev.Partitions, ev.CheckpointSuperstep,
+				ev.SuperstepsReplayed, ev.MessagesReplayed, ev.Duration.Round(time.Microsecond))
+		}
+	}
+	if stats.MessagesLogged > 0 {
+		fmt.Printf("outbox log: %d messages logged (%d bytes)\n", stats.MessagesLogged, stats.BytesLogged)
 	}
 	if stats.Rebalances > 0 {
 		fmt.Printf("rebalancer: %d migrations moved %d vertices\n", stats.Rebalances, stats.VerticesMigrated)

@@ -26,7 +26,7 @@ const (
 
 func main() {
 	// The web-BS stand-in, scaled to demo size.
-	build := func() *graft.Graph { return graphgen.WebGraph(4000, 6, 11) }
+	build := func() *graft.Graph { return graphgen.WebGraph(4000, 6, 12) }
 	g := build()
 	fmt.Printf("web graph: %d vertices, %d directed edges\n", g.NumVertices(), g.NumEdges())
 

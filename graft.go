@@ -129,6 +129,15 @@ type (
 	// MigrationEvent records one barrier migration by the skew
 	// rebalancer, surfaced in SuperstepStats.Migrations.
 	MigrationEvent = pregel.MigrationEvent
+	// RecoveryMode selects how the engine recovers from worker
+	// failures (EngineConfig.Recovery): RecoveryCheckpoint restarts
+	// the whole job from the newest checkpoint, RecoveryLog confines
+	// the rollback to the failed partitions and replays their inboxes
+	// from sender-side outbox logs.
+	RecoveryMode = pregel.RecoveryMode
+	// RecoveryEvent is the per-recovery breakdown in
+	// Stats.RecoveryEvents: mode, partitions, replay window and cost.
+	RecoveryEvent = pregel.RecoveryEvent
 	// FaultPlan configures deterministic fault injection (see
 	// internal/faults).
 	FaultPlan = faults.Plan
@@ -152,6 +161,29 @@ const (
 	// benchmark baseline.
 	PlaneMutex = pregel.PlaneMutex
 )
+
+// Recovery modes for EngineConfig.Recovery.
+const (
+	// RecoveryCheckpoint rolls the whole job back to the newest intact
+	// checkpoint on any failure — the classic Pregel strategy and the
+	// default.
+	RecoveryCheckpoint = pregel.RecoveryCheckpoint
+	// RecoveryLog is log-based confined recovery: only failed
+	// partitions roll back and recompute, fed by the sender-side
+	// outbox logs, while survivors stay live. Requires PlaneLanes and
+	// EngineConfig.MsgLogFS; degrades to a checkpoint restart when the
+	// logs cannot drive a replay.
+	RecoveryLog = pregel.RecoveryLog
+)
+
+// FailPartitionAt builds an EngineConfig.PartitionFailureAt hook that
+// kills the given partitions once, at the barrier after the given
+// superstep (see internal/faults).
+var FailPartitionAt = faults.FailPartitionAt
+
+// PickPartition derives a reproducible victim partition in [0, n)
+// from a seed, for chaos runs replayable from their seed alone.
+var PickPartition = faults.PickPartition
 
 // TraceDigest computes a canonical SHA-256 of a trace's captured
 // computation, invariant to vertex placement and inbox arrival order;

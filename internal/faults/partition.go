@@ -1,0 +1,38 @@
+package faults
+
+// FailPartitionAt builds a pregel.Config.PartitionFailureAt hook that
+// kills the given partitions exactly once, at the barrier after the
+// given superstep completes. A one-shot hook is the useful shape for
+// recovery experiments: a hook that keeps returning the same
+// partitions would re-fail the job on every replayed superstep and no
+// recovery mode could ever make progress.
+//
+// With no explicit partitions the hook reports a failure that names
+// no real partition, which the engine treats as "a worker died
+// without saying which" — every partition fails. Use PickPartition to
+// choose a reproducible single victim instead.
+func FailPartitionAt(superstep int, partitions ...int) func(int) []int {
+	fired := false
+	return func(s int) []int {
+		if fired || s != superstep {
+			return nil
+		}
+		fired = true
+		if len(partitions) == 0 {
+			return []int{-1}
+		}
+		out := make([]int, len(partitions))
+		copy(out, partitions)
+		return out
+	}
+}
+
+// PickPartition derives a reproducible victim partition in [0, n) from
+// a seed, the same splitmix64 mixing the rest of the package uses, so
+// chaos runs are replayable from their seed alone.
+func PickPartition(seed int64, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return int(splitmix64(uint64(seed)^0xda3e39cb94b95bdb) % uint64(n))
+}

@@ -57,6 +57,10 @@ func WebGraph(n int, avgOutDeg int, seed int64) *pregel.Graph {
 			}
 			addEdge(from, to)
 		}
+		// The new vertex joins the target pool so later vertices can
+		// link to it — without this every draw collapses onto the seed
+		// pair {0, 1} and the "web" degenerates into a two-hub star.
+		targets = append(targets, from)
 	}
 	g.SortAllEdges()
 	return g
@@ -121,6 +125,61 @@ func RegularBipartite(n, d int) *pregel.Graph {
 			right := pregel.VertexID(half + (i+k)%half)
 			g.Vertex(left).AddEdge(pregel.Edge{Target: right})
 			g.Vertex(right).AddEdge(pregel.Edge{Target: left})
+		}
+	}
+	g.SortAllEdges()
+	return g
+}
+
+// ChainedCommunities generates an undirected graph of `communities`
+// dense preferential-attachment clusters linked in a chain by single
+// bridge edges. Label-propagation algorithms (connected components)
+// need about one superstep per hop, so the diameter — and with it the
+// superstep count — scales with the chain length regardless of total
+// size: the long-running, everyone-connected workload the recovery
+// experiments need.
+func ChainedCommunities(n, communities, avgDeg int, seed int64) *pregel.Graph {
+	if communities < 1 {
+		communities = 1
+	}
+	if n < 2*communities {
+		n = 2 * communities
+	}
+	if avgDeg < 2 {
+		avgDeg = 2
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := pregel.NewGraph()
+	for i := 0; i < n; i++ {
+		g.AddVertex(pregel.VertexID(i), nil)
+	}
+	addBoth := func(a, b pregel.VertexID) {
+		if a == b || g.Vertex(a).HasEdge(b) {
+			return
+		}
+		g.Vertex(a).AddEdge(pregel.Edge{Target: b})
+		g.Vertex(b).AddEdge(pregel.Edge{Target: a})
+	}
+	per := n / communities
+	for c := 0; c < communities; c++ {
+		lo := c * per
+		hi := lo + per
+		if c == communities-1 {
+			hi = n
+		}
+		// Preferential attachment within the community.
+		targets := []pregel.VertexID{pregel.VertexID(lo)}
+		for i := lo + 1; i < hi; i++ {
+			a := pregel.VertexID(i)
+			deg := 1 + rng.Intn(avgDeg-1)
+			for k := 0; k < deg; k++ {
+				addBoth(a, targets[rng.Intn(len(targets))])
+			}
+			targets = append(targets, a)
+		}
+		// One bridge to the previous community: the chain.
+		if c > 0 {
+			addBoth(pregel.VertexID(lo-1), pregel.VertexID(lo))
 		}
 	}
 	g.SortAllEdges()

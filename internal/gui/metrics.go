@@ -88,6 +88,41 @@ type metricsWorkerRow struct {
 	Straggler                 bool
 }
 
+type metricsRecoveryRow struct {
+	Superstep, FromCheckpoint int
+	Mode, Partitions          string
+	StepsReplayed             int
+	MsgsReplayed              int64
+	Duration                  string
+}
+
+// recoveryRows renders the per-recovery breakdown for the dashboard:
+// which partitions rolled back, the checkpoint they restarted from and
+// how much confined replay it took to catch them back up.
+func recoveryRows(evs []pregel.RecoveryEvent) []metricsRecoveryRow {
+	rows := make([]metricsRecoveryRow, 0, len(evs))
+	for _, ev := range evs {
+		parts := "all"
+		if len(ev.Partitions) > 0 {
+			strs := make([]string, len(ev.Partitions))
+			for i, p := range ev.Partitions {
+				strs[i] = strconv.Itoa(p)
+			}
+			parts = strings.Join(strs, ", ")
+		}
+		rows = append(rows, metricsRecoveryRow{
+			Superstep:      ev.Superstep,
+			FromCheckpoint: ev.CheckpointSuperstep,
+			Mode:           ev.Mode,
+			Partitions:     parts,
+			StepsReplayed:  ev.SuperstepsReplayed,
+			MsgsReplayed:   ev.MessagesReplayed,
+			Duration:       ms(ev.Duration) + " ms",
+		})
+	}
+	return rows
+}
+
 // dfsSummary renders the distributed-store data-path counters for the
 // dashboard's DFS row ("" when no DFS source was registered).
 func dfsSummary(jm metrics.JobMetrics) string {
@@ -194,6 +229,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		Recoveries                         int
 		Faults                             string
 		HasFaults                          bool
+		OutboxLog                          string
+		HasOutboxLog                       bool
+		RecoveryRows                       []metricsRecoveryRow
 		DFS                                string
 		HasDFS                             bool
 		ComputeSpark, SentSpark, SkewSpark template.HTML
@@ -221,6 +259,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		Recoveries:        jm.Recoveries,
 		Faults:            jm.Faults.String(),
 		HasFaults:         jm.Faults.Any() || jm.Recoveries > 0,
+		OutboxLog:         fmt.Sprintf("%d messages (%d bytes)", jm.MessagesLogged, jm.BytesLogged),
+		HasOutboxLog:      jm.MessagesLogged > 0,
+		RecoveryRows:      recoveryRows(jm.RecoveryEvents),
 		DFS:               dfsSummary(jm),
 		HasDFS:            jm.DFS != nil && jm.DFS.Any(),
 		ComputeSpark:      sparklineSVG(computeMs, 260, 48, "#246"),

@@ -181,10 +181,22 @@ indicators (max/mean ratios; a superstep is flagged when a worker runs
 <th>Max skew (compute / msg)</th><td>{{.MaxComputeSkew}} / {{.MaxMessageSkew}}</td></tr>
 {{if .HasFaults}}<tr><th>Recoveries</th><td>{{.Recoveries}}</td>
 <th>Faults</th><td colspan="5">{{.Faults}}</td></tr>{{end}}
+{{if .HasOutboxLog}}<tr><th>Outbox log</th><td colspan="7">{{.OutboxLog}}</td></tr>{{end}}
 {{if .HasMigrations}}<tr><th>Rebalances</th><td>{{.Rebalances}}</td>
 <th>Vertices migrated</th><td colspan="5">{{.Migrated}}</td></tr>{{end}}
 {{if .HasDFS}}<tr><th>DFS traffic</th><td colspan="7">{{.DFS}}</td></tr>{{end}}
 </table>
+{{if .RecoveryRows}}
+<h2>Recoveries</h2>
+<table>
+<tr><th>Superstep</th><th>Mode</th><th>Partitions</th><th>From checkpoint</th>
+<th>Steps replayed</th><th>Msgs replayed</th><th>Duration</th></tr>
+{{range .RecoveryRows}}
+<tr><td>{{.Superstep}}</td><td>{{.Mode}}</td><td>{{.Partitions}}</td><td>{{.FromCheckpoint}}</td>
+<td>{{.StepsReplayed}}</td><td>{{.MsgsReplayed}}</td><td>{{.Duration}}</td></tr>
+{{end}}
+</table>
+{{end}}
 <table><tr>
 <th>compute time / superstep</th><th>messages sent / superstep</th><th>compute skew / superstep</th>
 </tr><tr>

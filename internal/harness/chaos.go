@@ -28,6 +28,14 @@ type ChaosOptions struct {
 	// FaultP is the per-operation fault probability injected into
 	// storage writes (default 0.3).
 	FaultP float64
+	// Recovery selects how the injected crash is recovered:
+	// RecoveryCheckpoint (the zero value) restarts the whole job,
+	// RecoveryLog confines the recomputation to the seed-picked victim
+	// partition and replays its inbox from the outbox logs.
+	Recovery pregel.RecoveryMode
+	// WholeJobCrash reverts to the pre-confinement crash shape: the
+	// whole job fails instead of one seed-picked victim partition.
+	WholeJobCrash bool
 	// Progress, if non-nil, receives one line per finished workload.
 	Progress io.Writer
 }
@@ -51,7 +59,14 @@ type ChaosMeasurement struct {
 	Workload   string
 	Supersteps int
 	Recoveries int
-	Faults     pregel.FaultStats
+	// Victim is the seed-picked partition the crash takes down, or -1
+	// for a whole-job crash.
+	Victim int
+	// RecoveryMode is the mode the engine actually recovered in ("log",
+	// "checkpoint", or "" when no recovery ran) — a broken log degrades
+	// to "checkpoint", and the table makes that visible.
+	RecoveryMode string
+	Faults       pregel.FaultStats
 	// NodeWriteRetries counts block placements retried on another
 	// datanode inside the simulated DFS.
 	NodeWriteRetries int64
@@ -88,8 +103,8 @@ func RunChaos(workloads []Workload, opts ChaosOptions) ([]ChaosMeasurement, erro
 		}
 		out = append(out, m)
 		if opts.Progress != nil {
-			fmt.Fprintf(opts.Progress, "%-10s recoveries=%d %s node-write-retries=%d match=%v\n",
-				m.Workload, m.Recoveries, m.Faults, m.NodeWriteRetries, m.Match)
+			fmt.Fprintf(opts.Progress, "%-10s recoveries=%d(%s victim=%d) %s node-write-retries=%d match=%v\n",
+				m.Workload, m.Recoveries, m.RecoveryMode, m.Victim, m.Faults, m.NodeWriteRetries, m.Match)
 		}
 	}
 	return out, nil
@@ -150,17 +165,45 @@ func runChaosCell(wl Workload, opts ChaosOptions) (ChaosMeasurement, error) {
 		CheckpointEvery:  opts.CheckpointEvery,
 		CheckpointFS:     ckptFS,
 		CheckpointPrefix: "chaos-ckpt/",
-		FailureAt: func(superstep int) bool {
+		Recovery:         opts.Recovery,
+	}
+	if opts.Recovery == pregel.RecoveryLog {
+		// The outbox logs live on their own healthy memory FS: the chaos
+		// experiment abuses checkpoint and trace storage, and a log write
+		// failure would (correctly, but uninterestingly) degrade every
+		// run to checkpoint restart.
+		cfg.MsgLogFS = dfs.NewMemFS()
+	}
+	// The default crash is confined to a seed-picked victim partition;
+	// either way the crash takes datanode 0 down with it and the next
+	// barrier revives it, triggering re-replication.
+	m.Victim = faults.PickPartition(opts.Seed, wl.Workers)
+	if opts.WholeJobCrash {
+		m.Victim = -1
+		cfg.FailureAt = func(superstep int) bool {
 			if superstep == opts.CrashAt && !crashed {
 				crashed = true
-				cluster.Kill(0) // the crash takes a datanode down with it
+				cluster.Kill(0)
 				return true
 			}
 			if crashed && superstep == opts.CrashAt+1 && !cluster.Node(0).Alive() {
-				cluster.Revive(0) // node recovery triggers re-replication
+				cluster.Revive(0)
 			}
 			return false
-		},
+		}
+	} else {
+		victim := m.Victim
+		cfg.PartitionFailureAt = func(superstep int) []int {
+			if superstep == opts.CrashAt && !crashed {
+				crashed = true
+				cluster.Kill(0)
+				return []int{victim}
+			}
+			if crashed && superstep == opts.CrashAt+1 && !cluster.Node(0).Alive() {
+				cluster.Revive(0)
+			}
+			return nil
+		}
 	}
 	job := pregel.NewJob(g, session.Instrument(alg.Compute), cfg)
 	for _, spec := range alg.Aggregators {
@@ -174,6 +217,9 @@ func runChaosCell(wl Workload, opts ChaosOptions) (ChaosMeasurement, error) {
 	m.Runtime = time.Since(start)
 	m.Supersteps = stats.Supersteps
 	m.Recoveries = stats.Recoveries
+	if len(stats.RecoveryEvents) > 0 {
+		m.RecoveryMode = stats.RecoveryEvents[len(stats.RecoveryEvents)-1].Mode
+	}
 	m.Faults = stats.Faults
 	m.NodeWriteRetries = cluster.WriteRetries()
 	m.Captures = session.Captures()
@@ -191,10 +237,14 @@ func runChaosCell(wl Workload, opts ChaosOptions) (ChaosMeasurement, error) {
 // PrintChaos renders chaos measurements as a table.
 func PrintChaos(w io.Writer, ms []ChaosMeasurement) {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "workload\tsupersteps\trecoveries\tinjected\tretries\tbackoff\tfallbacks\tdropped\tcorrupt-ckpts\tnode-retries\tcaptures\tmatch")
+	fmt.Fprintln(tw, "workload\tsupersteps\trecoveries\tmode\tvictim\tinjected\tretries\tbackoff\tfallbacks\tdropped\tcorrupt-ckpts\tnode-retries\tcaptures\tmatch")
 	for _, m := range ms {
-		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%s\t%d\t%d\t%d\t%d\t%d\t%v\n",
-			m.Workload, m.Supersteps, m.Recoveries,
+		mode := m.RecoveryMode
+		if mode == "" {
+			mode = "-"
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%s\t%d\t%d\t%d\t%s\t%d\t%d\t%d\t%d\t%d\t%v\n",
+			m.Workload, m.Supersteps, m.Recoveries, mode, m.Victim,
 			m.Faults.Injected, m.Faults.Retries, m.Faults.Backoff.Round(time.Microsecond),
 			m.Faults.Fallbacks, m.Faults.DroppedRecords, m.Faults.CorruptCheckpoints,
 			m.NodeWriteRetries, m.Captures, m.Match)

@@ -42,6 +42,8 @@ func (r *Registry) ServeVars(w http.ResponseWriter, req *http.Request) {
 		"graft.max_compute_skew":    snap.Totals.MaxComputeSkew,
 		"graft.max_message_skew":    snap.Totals.MaxMessageSkew,
 		"graft.recoveries":          snap.Recoveries,
+		"graft.messages_logged":     snap.MessagesLogged,
+		"graft.bytes_logged":        snap.BytesLogged,
 		"graft.faults.injected":     snap.Faults.Injected,
 		"graft.faults.retries":      snap.Faults.Retries,
 		"graft.faults.backoff_ns":   snap.Faults.Backoff.Nanoseconds(),

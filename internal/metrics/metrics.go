@@ -120,6 +120,14 @@ type JobMetrics struct {
 	// checkpoints.
 	RecoveryNanos int64 `json:"recovery_ns"`
 	Recoveries    int   `json:"recoveries"`
+	// RecoveryEvents break each recovery down by mode and confinement
+	// scope (filled at job end).
+	RecoveryEvents []pregel.RecoveryEvent `json:"recovery_events,omitempty"`
+	// MessagesLogged / BytesLogged count the sender-side outbox-log
+	// volume written for log-based confined recovery (zero unless the
+	// engine runs with Recovery=log).
+	MessagesLogged int64 `json:"messages_logged,omitempty"`
+	BytesLogged    int64 `json:"bytes_logged,omitempty"`
 	// Faults carries the storage-resilience counters: live snapshots of
 	// the registered fault sources while the job runs, the engine's
 	// final folded FaultStats afterwards.
@@ -236,6 +244,9 @@ func (r *Registry) JobFinished(stats *pregel.Stats, err error) {
 		r.jm.RuntimeNanos = stats.Runtime.Nanoseconds()
 		r.jm.RecoveryNanos = stats.RecoveryTime.Nanoseconds()
 		r.jm.Recoveries = stats.Recoveries
+		r.jm.RecoveryEvents = stats.RecoveryEvents
+		r.jm.MessagesLogged = stats.MessagesLogged
+		r.jm.BytesLogged = stats.BytesLogged
 		r.jm.Faults = stats.Faults
 	}
 	if err != nil {

@@ -110,26 +110,14 @@ func (en *engine) maxRecoveries() int {
 	return 3
 }
 
-// recoverFromCheckpoint restores the newest *intact* checkpoint at or
-// before the current superstep, rewinding the engine so the run loop
-// resumes from the checkpointed superstep. A checkpoint that cannot be
-// read or decoded (truncated file, bad magic, lost DFS blocks) is
-// skipped in favor of the next older one, and counted in
-// Stats.Faults.CorruptCheckpoints; the hard errors are ErrNoCheckpoint
-// (nothing intact remains) and ErrTooManyRecoveries.
-func (en *engine) recoverFromCheckpoint() error {
-	if en.stats.Recoveries >= en.maxRecoveries() {
-		return ErrTooManyRecoveries
-	}
-	en.stats.Recoveries++
-	if en.cfg.CheckpointFS == nil {
-		return ErrNoCheckpoint
-	}
+// listCheckpoints returns the superstep numbers of every checkpoint
+// file under the configured prefix, newest first.
+func (en *engine) listCheckpoints() ([]int, error) {
 	names, err := en.cfg.CheckpointFS.List(en.cfg.CheckpointPrefix + "checkpoint_")
 	if err != nil {
-		return err
+		return nil, err
 	}
-	var candidates []int
+	var nums []int
 	for _, name := range names {
 		idx := strings.LastIndex(name, "checkpoint_")
 		if idx < 0 {
@@ -139,6 +127,82 @@ func (en *engine) recoverFromCheckpoint() error {
 		if err != nil {
 			continue
 		}
+		nums = append(nums, n)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(nums)))
+	return nums, nil
+}
+
+// checkpointRetain is the effective retention-GC depth: the newest K
+// checkpoints kept after each successful write. 0 means the default of
+// 2; negative means unlimited (GC disabled).
+func (en *engine) checkpointRetain() int {
+	if en.cfg.CheckpointRetain != 0 {
+		return en.cfg.CheckpointRetain
+	}
+	return 2
+}
+
+// gcCheckpoints deletes all but the newest K checkpoints after a
+// successful write, so long chaos runs stop accumulating unbounded
+// checkpoint files, then prunes the outbox log and history that no
+// surviving checkpoint can ever need (recovery always rolls back to a
+// retained checkpoint, so frames and snapshots older than the oldest
+// one are dead weight). Deletions are counted in
+// FaultStats.CheckpointsDeleted. Best-effort: listing or deletion
+// failures leave extra files behind, never fewer.
+func (en *engine) gcCheckpoints() {
+	retain := en.checkpointRetain()
+	if retain < 0 {
+		return
+	}
+	nums, err := en.listCheckpoints()
+	if err != nil || len(nums) == 0 {
+		return
+	}
+	for _, n := range nums[min(retain, len(nums)):] {
+		if en.cfg.CheckpointFS.Remove(en.checkpointPath(n)) == nil {
+			en.stats.Faults.CheckpointsDeleted++
+		}
+	}
+	oldest := nums[min(retain, len(nums))-1]
+	if en.msglog != nil {
+		en.msglog.gc(oldest)
+		for t := range en.history {
+			if t < oldest {
+				delete(en.history, t)
+			}
+		}
+	}
+}
+
+// recoverFromCheckpoint charges one attempt against the recovery
+// budget, then restores the newest intact checkpoint (the whole-job
+// restart path).
+func (en *engine) recoverFromCheckpoint() error {
+	if err := en.consumeRecoveryBudget(); err != nil {
+		return err
+	}
+	return en.restoreNewestIntact()
+}
+
+// restoreNewestIntact restores the newest *intact* checkpoint at or
+// before the current superstep, rewinding the engine so the run loop
+// resumes from the checkpointed superstep. A checkpoint that cannot be
+// read or decoded (truncated file, bad magic, lost DFS blocks) is
+// skipped in favor of the next older one, and counted in
+// Stats.Faults.CorruptCheckpoints; the hard error is ErrNoCheckpoint
+// (nothing intact remains).
+func (en *engine) restoreNewestIntact() error {
+	if en.cfg.CheckpointFS == nil {
+		return ErrNoCheckpoint
+	}
+	nums, err := en.listCheckpoints()
+	if err != nil {
+		return err
+	}
+	var candidates []int
+	for _, n := range nums {
 		if n <= en.superstep {
 			candidates = append(candidates, n)
 		}
@@ -146,7 +210,6 @@ func (en *engine) recoverFromCheckpoint() error {
 	if len(candidates) == 0 {
 		return ErrNoCheckpoint
 	}
-	sort.Sort(sort.Reverse(sort.IntSlice(candidates)))
 	var firstErr error
 	for _, n := range candidates {
 		err := en.restoreCheckpointFile(n)
@@ -161,70 +224,127 @@ func (en *engine) recoverFromCheckpoint() error {
 	return fmt.Errorf("%w (newest candidate: %v)", ErrNoCheckpoint, firstErr)
 }
 
+// readCheckpointFile reads one checkpoint's raw bytes.
+func (en *engine) readCheckpointFile(superstep int) ([]byte, error) {
+	r, err := en.cfg.CheckpointFS.Open(en.checkpointPath(superstep))
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	return io.ReadAll(r)
+}
+
 // restoreCheckpointFile reads and restores one checkpoint. The engine
 // is mutated only after the whole file decodes cleanly, so a failure
 // here leaves the engine ready to try an older checkpoint.
 func (en *engine) restoreCheckpointFile(superstep int) error {
-	r, err := en.cfg.CheckpointFS.Open(en.checkpointPath(superstep))
-	if err != nil {
-		return err
-	}
-	defer r.Close()
-	raw, err := io.ReadAll(r)
+	raw, err := en.readCheckpointFile(superstep)
 	if err != nil {
 		return err
 	}
 	return en.restore(raw)
 }
 
+// checkpointState is one decoded checkpoint, not yet installed into
+// the engine. Full restart installs all of it; confined recovery picks
+// out just the failed partitions' vertices and inbox messages (by
+// *current* routing) and ignores the rest.
+type checkpointState struct {
+	superstep  int
+	broadcast  map[string]Value
+	reassigned map[VertexID]int
+	// parts holds each checkpoint partition's vertices in encoded
+	// (ascending ID) order; owners point at placeholder partitions and
+	// are rewritten on install.
+	parts [][]*Vertex
+	// cur is the undelivered-message store feeding the checkpointed
+	// superstep, sharded by checkpoint-time routing.
+	cur *messageStore
+}
+
 func (en *engine) restore(raw []byte) error {
+	st, err := en.decodeCheckpoint(raw)
+	if err != nil {
+		return err
+	}
+	en.install(st)
+	return nil
+}
+
+// decodeCheckpoint decodes a checkpoint without touching engine state.
+// Every call decodes fresh objects, so a caller can replay against one
+// decode, throw it away, and decode again (nested-failure retries).
+func (en *engine) decodeCheckpoint(raw []byte) (*checkpointState, error) {
 	d := NewDecoder(raw)
 	if magic := d.String(); magic != checkpointMagic {
-		return fmt.Errorf("pregel: bad checkpoint magic %q", magic)
+		return nil, fmt.Errorf("pregel: bad checkpoint magic %q", magic)
 	}
-	superstep := int(d.Uvarint())
+	st := &checkpointState{superstep: int(d.Uvarint())}
 	numParts := int(d.Uvarint())
 	if numParts != len(en.parts) {
-		return fmt.Errorf("pregel: checkpoint has %d partitions, engine has %d", numParts, len(en.parts))
+		return nil, fmt.Errorf("pregel: checkpoint has %d partitions, engine has %d", numParts, len(en.parts))
 	}
 	nAggs := int(d.Uvarint())
-	broadcast := make(map[string]Value, nAggs)
+	st.broadcast = make(map[string]Value, nAggs)
 	for i := 0; i < nAggs; i++ {
 		name := d.String()
 		v, err := DecodeTyped(d)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		broadcast[name] = v
+		st.broadcast[name] = v
 	}
 	nMoved := int(d.Uvarint())
 	if d.Err() != nil {
-		return d.Err()
+		return nil, d.Err()
 	}
-	var reassigned map[VertexID]int
 	if nMoved > 0 {
-		reassigned = make(map[VertexID]int, nMoved)
+		st.reassigned = make(map[VertexID]int, nMoved)
 		for i := 0; i < nMoved; i++ {
 			id := VertexID(d.Varint())
 			p := int(d.Uvarint())
 			if p < 0 || p >= numParts {
-				return fmt.Errorf("pregel: checkpoint reassigns vertex %d to partition %d of %d", id, p, numParts)
+				return nil, fmt.Errorf("pregel: checkpoint reassigns vertex %d to partition %d of %d", id, p, numParts)
 			}
-			reassigned[id] = p
+			st.reassigned[id] = p
 		}
 	}
-	parts := make([]*partition, numParts)
-	for i := range parts {
-		p := &partition{idx: i, verts: make(map[VertexID]*Vertex)}
+	st.parts = make([][]*Vertex, numParts)
+	for i := range st.parts {
 		n := int(d.Uvarint())
 		if d.Err() != nil {
-			return d.Err()
+			return nil, d.Err()
 		}
+		vs := make([]*Vertex, 0, n)
 		for j := 0; j < n; j++ {
 			v, err := decodeVertex(d)
 			if err != nil {
-				return err
+				return nil, err
 			}
+			vs = append(vs, v)
+		}
+		st.parts[i] = vs
+	}
+	st.cur = newMessageStore(numParts, en.cfg.Combiner, en.cfg.MessagePlane, en.pool)
+	for i := 0; i < numParts; i++ {
+		if err := st.cur.decodeInto(i, d); err != nil {
+			return nil, err
+		}
+	}
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	return st, nil
+}
+
+// install replaces the engine's whole state with a decoded checkpoint:
+// the full-restart path.
+func (en *engine) install(st *checkpointState) {
+	numParts := len(st.parts)
+	parts := make([]*partition, numParts)
+	for i := range parts {
+		p := &partition{idx: i, verts: make(map[VertexID]*Vertex)}
+		for _, v := range st.parts[i] {
 			v.owner = p
 			p.verts[v.id] = v
 			p.ids = append(p.ids, v.id)
@@ -232,22 +352,12 @@ func (en *engine) restore(raw []byte) error {
 		}
 		parts[i] = p
 	}
-	cur := newMessageStore(numParts, en.cfg.Combiner, en.cfg.MessagePlane, en.pool)
-	for i := 0; i < numParts; i++ {
-		if err := cur.decodeInto(i, d); err != nil {
-			return err
-		}
-	}
-	if d.Err() != nil {
-		return d.Err()
-	}
-
 	en.parts = parts
-	en.cur = cur
+	en.cur = st.cur
 	en.next = newMessageStore(numParts, en.cfg.Combiner, en.cfg.MessagePlane, en.pool)
-	en.broadcast = broadcast
-	en.superstep = superstep
-	en.reassigned = reassigned
+	en.broadcast = st.broadcast
+	en.superstep = st.superstep
+	en.reassigned = st.reassigned
 	en.recountActive()
 
 	// Re-point the input graph at the restored vertex objects; the
@@ -265,8 +375,7 @@ func (en *engine) restore(raw []byte) error {
 	// Per-superstep stats after the restore point are rewound so that
 	// the recorded history matches the re-executed run.
 	for len(en.stats.PerSuperstep) > 0 &&
-		en.stats.PerSuperstep[len(en.stats.PerSuperstep)-1].Superstep >= superstep {
+		en.stats.PerSuperstep[len(en.stats.PerSuperstep)-1].Superstep >= st.superstep {
 		en.stats.PerSuperstep = en.stats.PerSuperstep[:len(en.stats.PerSuperstep)-1]
 	}
-	return nil
 }

@@ -32,6 +32,15 @@ type workerCtx struct {
 	aggPartial map[string]Value
 	removals   []VertexID
 	additions  []vertexAddition
+
+	// replay marks a confined-recovery re-execution: computes run to
+	// rebuild vertex state (and re-emit instrumentation captures), but
+	// their outputs — sends, aggregation, mutation requests — already
+	// happened and are replayed from the outbox logs, so the context
+	// swallows them. bcast, when non-nil, overrides the engine's live
+	// aggregate broadcast with the replayed superstep's snapshot.
+	replay bool
+	bcast  map[string]Value
 }
 
 func (c *workerCtx) Superstep() int          { return c.superstep }
@@ -40,7 +49,11 @@ func (c *workerCtx) TotalNumEdges() int64    { return c.numEdges }
 func (c *workerCtx) WorkerID() int           { return c.worker }
 
 func (c *workerCtx) GetAggregated(name string) Value {
-	v, ok := c.en.broadcast[name]
+	bc := c.en.broadcast
+	if c.bcast != nil {
+		bc = c.bcast
+	}
+	v, ok := bc[name]
 	if !ok {
 		panic(fmt.Sprintf("pregel: GetAggregated: unregistered aggregator %q", name))
 	}
@@ -60,6 +73,11 @@ func (c *workerCtx) Aggregate(name string, val Value) {
 }
 
 func (c *workerCtx) SendMessage(to VertexID, msg Value) {
+	if c.replay {
+		// Confined replay: the original send is in the outbox log and is
+		// delivered from there; re-sending would double it.
+		return
+	}
 	c.sent++
 	p := c.en.partitionFor(to)
 	if c.lane != nil {
@@ -148,10 +166,16 @@ func (c *workerCtx) SendMessageToAllEdges(v *Vertex, msg Value) {
 }
 
 func (c *workerCtx) RemoveVertexRequest(id VertexID) {
+	if c.replay {
+		return // replayed from the mutation log
+	}
 	c.removals = append(c.removals, id)
 }
 
 func (c *workerCtx) AddVertexRequest(id VertexID, value Value) {
+	if c.replay {
+		return // replayed from the mutation log
+	}
 	c.additions = append(c.additions, vertexAddition{id: id, value: value})
 }
 

@@ -1,6 +1,7 @@
 package pregel
 
 import (
+	"errors"
 	"fmt"
 	"runtime/debug"
 	"sort"
@@ -47,9 +48,18 @@ type Stats struct {
 	// MessagesDropped counts messages addressed to nonexistent
 	// vertices when Config.CreateMissingVertices is false.
 	MessagesDropped int64
-	// Recoveries counts checkpoint recoveries triggered by failure
-	// injection.
+	// Recoveries counts recoveries triggered by failure injection
+	// (checkpoint restarts and confined log replays alike).
 	Recoveries int
+	// RecoveryEvents has one entry per recovery with its confinement
+	// breakdown: which partitions failed, which mode recovered them, how
+	// many supersteps and bytes were replayed and how long it took.
+	RecoveryEvents []RecoveryEvent
+	// MessagesLogged and BytesLogged count the outbox-log volume written
+	// by RecoveryLog's sender-side message logging (zero in checkpoint
+	// mode).
+	MessagesLogged int64
+	BytesLogged    int64
 	// Faults aggregates storage-resilience counters: faults injected
 	// into the checkpoint/trace file systems and the retries, fallbacks
 	// and skipped checkpoints that absorbed them.
@@ -80,6 +90,9 @@ func (s *Stats) String() string {
 	if s.Recoveries > 0 {
 		line += fmt.Sprintf(" recoveries=%d recovery-time=%v",
 			s.Recoveries, s.RecoveryTime.Round(time.Millisecond))
+	}
+	if s.MessagesLogged > 0 {
+		line += fmt.Sprintf(" msg-logged=%d log-bytes=%d", s.MessagesLogged, s.BytesLogged)
 	}
 	if s.Rebalances > 0 {
 		line += fmt.Sprintf(" rebalances=%d migrated=%d", s.Rebalances, s.VerticesMigrated)
@@ -146,12 +159,37 @@ type Config struct {
 	// CheckpointPrefix prefixes checkpoint file names.
 	CheckpointPrefix string
 	// FailureAt, if non-nil, is consulted after each superstep's
-	// barrier; returning true simulates a worker crash, forcing
-	// recovery from the latest checkpoint. Used by fault-tolerance
+	// barrier; returning true simulates a whole-job worker crash,
+	// forcing recovery of every partition. Used by fault-tolerance
 	// tests.
 	FailureAt func(superstep int) bool
+	// PartitionFailureAt, if non-nil, is consulted after each
+	// superstep's barrier; returning a non-empty list simulates a crash
+	// of just those partitions. Under RecoveryLog only the listed
+	// partitions roll back and replay; under RecoveryCheckpoint any
+	// failure still restarts the whole job from the latest checkpoint.
+	PartitionFailureAt func(superstep int) []int
 	// MaxRecoveries bounds recovery attempts (default 3).
 	MaxRecoveries int
+	// Recovery selects the recovery strategy for injected failures.
+	// RecoveryCheckpoint (the zero value) restarts the whole job from
+	// the latest checkpoint; RecoveryLog confines recomputation to the
+	// failed partitions, replaying their inboxes from the sender-side
+	// outbox logs. RecoveryLog requires PlaneLanes and MsgLogFS.
+	Recovery RecoveryMode
+	// MsgLogFS is where RecoveryLog's outbox logs are written. Required
+	// when Recovery is RecoveryLog.
+	MsgLogFS FileSystem
+	// MsgLogPrefix prefixes the outbox-log directory name.
+	MsgLogPrefix string
+	// MsgLogSegmentSize is the outbox-log segment size threshold; 0
+	// means the default (256 KiB).
+	MsgLogSegmentSize int
+	// CheckpointRetain is how many of the newest successfully written
+	// checkpoints retention GC keeps (older ones are deleted after each
+	// successful write and counted in FaultStats.CheckpointsDeleted).
+	// 0 means the default of 2; negative disables GC entirely.
+	CheckpointRetain int
 	// DisableMetrics turns off the per-worker superstep telemetry
 	// (compute/barrier/capture timings, skew indicators). Collection is
 	// a handful of clock reads per worker per superstep; the switch
@@ -323,10 +361,29 @@ type engine struct {
 	laneCombineOff [][]bool
 
 	lastCheckpoint int // superstep of the last written checkpoint, -1 if none
+
+	// msglog is the sender-side outbox log (nil unless RecoveryLog);
+	// history holds the per-superstep aggregate snapshots confined
+	// replay re-runs computes against.
+	msglog  *msgLog
+	history map[int]stepSnapshot
+	// recoveryFrontier marks the superstep the job had reached when a
+	// checkpoint restart rewound it: supersteps below the frontier are
+	// re-execution, and their wall time is charged to the recovery that
+	// caused them (openRecovery indexes the RecoveryEvents entry; -1
+	// when no recovery is open). Confined replay never sets these — its
+	// whole cost is inside the recovery call.
+	recoveryFrontier int
+	openRecovery     int
+	// lastMigration is the superstep of the most recent rebalancer
+	// migration (-1 if none); replay uses it to decide whether logged
+	// frame destinations still match current routing.
+	lastMigration int
 }
 
 func newEngine(j *Job) *engine {
-	en := &engine{job: j, cfg: &j.cfg, lastCheckpoint: -1, pool: &batchPool{}}
+	en := &engine{job: j, cfg: &j.cfg, lastCheckpoint: -1, pool: &batchPool{},
+		openRecovery: -1, lastMigration: -1}
 	en.flushBatch = j.cfg.MsgFlushBatch
 	if en.flushBatch <= 0 {
 		en.flushBatch = msgFlushBatch
@@ -436,7 +493,19 @@ func (en *engine) run(start time.Time) (*Stats, error) {
 		return &en.stats, nil
 	}
 
+	if en.cfg.Recovery == RecoveryLog {
+		if en.cfg.MessagePlane != PlaneLanes {
+			return finish(fmt.Errorf("pregel: RecoveryLog requires the lane message plane"))
+		}
+		if en.cfg.MsgLogFS == nil {
+			return finish(fmt.Errorf("pregel: RecoveryLog requires MsgLogFS"))
+		}
+		en.msglog = newMsgLog(en.cfg.MsgLogFS, en.cfg.MsgLogPrefix, en.msgLogSegmentSize(), len(en.parts))
+		en.history = make(map[int]stepSnapshot)
+	}
+
 	for {
+		stepStart := time.Now()
 		if en.cfg.MaxSupersteps > 0 && en.superstep >= en.cfg.MaxSupersteps {
 			en.stats.Reason = ReasonMaxSupersteps
 			return finish(nil)
@@ -452,6 +521,7 @@ func (en *engine) run(start time.Time) (*Stats, error) {
 				return finish(fmt.Errorf("pregel: checkpoint at superstep %d: %w", en.superstep, err))
 			}
 			en.lastCheckpoint = en.superstep
+			en.gcCheckpoints()
 		}
 
 		// Master phase: runs at the beginning of the superstep with
@@ -475,6 +545,12 @@ func (en *engine) run(start time.Time) (*Stats, error) {
 		}
 		if listener != nil {
 			listener.SuperstepStarted(en.superstep, info)
+		}
+		// Confined replay re-runs a superstep's computes without
+		// re-running the master phase, so it needs this superstep's
+		// post-master aggregate broadcast and totals as they were.
+		if en.msglog != nil {
+			en.history[en.superstep] = stepSnapshot{nv: nv, ne: ne, aggs: en.cloneAggSnapshot()}
 		}
 
 		// Worker phase.
@@ -510,6 +586,20 @@ func (en *engine) run(start time.Time) (*Stats, error) {
 		for _, err := range errs {
 			if err != nil {
 				return finish(err)
+			}
+		}
+
+		// Sender-side outbox logging: persist this superstep's outgoing
+		// batches and mutation requests before the lanes are merged away
+		// (mergeLane recycles the batches), so confined recovery can
+		// replay them. A log write failure is non-fatal — the log is
+		// marked broken and recovery falls back to checkpoint restart.
+		if en.msglog != nil {
+			logged, bytes, err := en.msglog.logSuperstep(en.superstep, en.next, results)
+			en.stats.MessagesLogged += logged
+			en.stats.BytesLogged += bytes
+			if err != nil {
+				en.stats.Faults.CorruptLogSegments++
 			}
 		}
 
@@ -552,14 +642,86 @@ func (en *engine) run(start time.Time) (*Stats, error) {
 			listener.SuperstepFinished(en.superstep, ss)
 		}
 
-		// Simulated worker failure and checkpoint recovery.
-		if en.cfg.FailureAt != nil && en.cfg.FailureAt(en.superstep) {
+		// Supersteps below the recovery frontier are re-execution after
+		// a checkpoint restart; charge their wall time to the recovery
+		// that rewound the job, so RecoveryTime reflects the real cost
+		// of restarting (restore plus recompute), comparable with
+		// confined replay's.
+		if en.recoveryFrontier > 0 {
+			if en.superstep < en.recoveryFrontier {
+				d := time.Since(stepStart)
+				en.stats.RecoveryTime += d
+				if en.openRecovery >= 0 {
+					ev := &en.stats.RecoveryEvents[en.openRecovery]
+					ev.Duration += d
+					ev.SuperstepsReplayed++
+				}
+			}
+			if en.superstep+1 >= en.recoveryFrontier {
+				en.recoveryFrontier = 0
+				en.openRecovery = -1
+			}
+		}
+
+		// Simulated worker failure and recovery.
+		if failedParts, failed := en.checkFailure(en.superstep); failed {
 			recStart := time.Now()
-			err := en.recoverFromCheckpoint()
-			en.stats.RecoveryTime += time.Since(recStart)
-			if err != nil {
+			if err := en.consumeRecoveryBudget(); err != nil {
+				en.stats.RecoveryTime += time.Since(recStart)
 				return finish(err)
 			}
+			ev := RecoveryEvent{Superstep: en.superstep, Partitions: failedParts}
+			if en.cfg.Recovery == RecoveryLog {
+				err := en.confinedRecover(failedParts, &ev)
+				if err == nil {
+					ev.Mode = "log"
+					ev.Duration = time.Since(recStart)
+					en.stats.RecoveryTime += ev.Duration
+					en.stats.RecoveryEvents = append(en.stats.RecoveryEvents, ev)
+					// Replay rebuilt the failed partitions' next-superstep
+					// inbox shards; resume exactly as the normal path
+					// would have.
+					var alive int64
+					for _, n := range en.partActive {
+						alive += n
+					}
+					pendingAny := false
+					for w := range en.parts {
+						if en.next.hasPending(w) {
+							pendingAny = true
+							break
+						}
+					}
+					en.cur = en.next
+					en.next = en.newStore()
+					en.superstep++
+					if alive == 0 && !pendingAny {
+						en.stats.Reason = ReasonConverged
+						return finish(nil)
+					}
+					continue
+				}
+				if !errors.Is(err, errReplayUnusable) {
+					en.stats.RecoveryTime += time.Since(recStart)
+					return finish(err)
+				}
+				// The outbox logs cannot drive a confined replay
+				// (corrupt segment, missing history, broken writer):
+				// degrade to a full checkpoint restart.
+			}
+			failedAt := en.superstep
+			if err := en.restoreNewestIntact(); err != nil {
+				en.stats.RecoveryTime += time.Since(recStart)
+				return finish(err)
+			}
+			ev.Mode = "checkpoint"
+			ev.CheckpointSuperstep = en.superstep
+			ev.PartitionsRecomputed = len(en.parts)
+			ev.Duration = time.Since(recStart)
+			en.stats.RecoveryTime += ev.Duration
+			en.recoveryFrontier = failedAt + 1
+			en.openRecovery = len(en.stats.RecoveryEvents)
+			en.stats.RecoveryEvents = append(en.stats.RecoveryEvents, ev)
 			continue
 		}
 

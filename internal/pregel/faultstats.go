@@ -26,6 +26,13 @@ type FaultStats struct {
 	// CorruptCheckpoints counts checkpoints skipped during recovery
 	// because they were truncated or failed to decode.
 	CorruptCheckpoints int64 `json:"corrupt_checkpoints"`
+	// CheckpointsDeleted counts old checkpoints removed by retention
+	// GC after a successful write.
+	CheckpointsDeleted int64 `json:"checkpoints_deleted"`
+	// CorruptLogSegments counts outbox-log failures: barriers whose log
+	// write failed, and recovery attempts that found a corrupt or
+	// unreadable log segment and fell back to checkpoint restart.
+	CorruptLogSegments int64 `json:"corrupt_log_segments"`
 }
 
 // Add folds o's counters into s.
@@ -36,6 +43,8 @@ func (s *FaultStats) Add(o FaultStats) {
 	s.Fallbacks += o.Fallbacks
 	s.DroppedRecords += o.DroppedRecords
 	s.CorruptCheckpoints += o.CorruptCheckpoints
+	s.CheckpointsDeleted += o.CheckpointsDeleted
+	s.CorruptLogSegments += o.CorruptLogSegments
 }
 
 // Any reports whether any counter is nonzero.
@@ -46,8 +55,9 @@ func (s FaultStats) Any() bool {
 // String renders the counters as a compact key=value line for CLI
 // output.
 func (s FaultStats) String() string {
-	return fmt.Sprintf("injected=%d retries=%d backoff=%v fallbacks=%d dropped=%d corrupt-checkpoints=%d",
-		s.Injected, s.Retries, s.Backoff.Round(time.Microsecond), s.Fallbacks, s.DroppedRecords, s.CorruptCheckpoints)
+	return fmt.Sprintf("injected=%d retries=%d backoff=%v fallbacks=%d dropped=%d corrupt-checkpoints=%d ckpt-deleted=%d corrupt-log-segments=%d",
+		s.Injected, s.Retries, s.Backoff.Round(time.Microsecond), s.Fallbacks, s.DroppedRecords, s.CorruptCheckpoints,
+		s.CheckpointsDeleted, s.CorruptLogSegments)
 }
 
 // FaultStatsProvider is implemented by resilient file-system wrappers

@@ -207,6 +207,40 @@ func (s *messageStore) mergeLane(shard int) {
 	}
 }
 
+// resetShard clears one shard to its freshly constructed state.
+// Confined recovery uses it to discard a failed partition's
+// next-superstep inbox before rebuilding it from the outbox logs. The
+// caller must be the only goroutine touching the store (the
+// coordinator, inside the recovery path).
+func (s *messageStore) resetShard(shard int) {
+	sh := &s.shards[shard]
+	if s.combiner != nil {
+		sh.c = make(map[VertexID]Value)
+	} else {
+		sh.m = make(map[VertexID][]Value)
+	}
+	sh.n, sh.combined = 0, 0
+}
+
+// replayDeliver delivers one replayed message straight into a shard
+// map, combining like mergeLane does. Coordinator-only (no locking):
+// confined recovery rebuilds inboxes on a single goroutine, in the
+// deterministic sender-major order the lane merge would have used.
+func (s *messageStore) replayDeliver(shard int, to VertexID, msg Value) {
+	sh := &s.shards[shard]
+	if s.combiner != nil {
+		if cur, ok := sh.c[to]; ok {
+			sh.c[to] = s.combiner.Combine(to, cur, msg)
+			sh.combined++
+		} else {
+			sh.c[to] = msg
+		}
+	} else {
+		sh.m[to] = append(sh.m[to], msg)
+	}
+	sh.n++
+}
+
 // migrate moves the pending inbox of one vertex between shards, for
 // the skew rebalancer. Both shards must be merged and quiescent (the
 // coordinator calls it at the barrier).

@@ -117,6 +117,7 @@ func (en *engine) rebalance(ss *SuperstepStats) {
 	ss.Migrations = append(ss.Migrations, ev)
 	en.stats.Rebalances++
 	en.stats.VerticesMigrated += int64(budget)
+	en.lastMigration = en.superstep
 }
 
 func (en *engine) rebalanceMaxMoves() int {

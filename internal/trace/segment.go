@@ -2,11 +2,11 @@ package trace
 
 import (
 	"bytes"
-	"fmt"
 	"sync/atomic"
 
 	"graft/internal/dfs"
 	"graft/internal/pregel"
+	"graft/internal/segio"
 )
 
 // Segmented trace layout. Each lane (one per worker, one for the
@@ -33,12 +33,44 @@ import (
 // barrier; a reader that finds segment files missing from the index
 // (crash between a segment commit and the index rewrite) falls back to
 // scanning just those segments.
+//
+// The container mechanics — framing, sealing, index encoding — live in
+// the dependency-free segio package so the engine's outbox logs can
+// share them; this file binds them to trace record types. The exported
+// aliases below are the reuse surface the redesign promised: external
+// code gets the writer and the index codec without knowing segio
+// exists.
 const (
-	segMagic = "GRFTSEG1"
-	idxMagic = "GRFTIDX1"
+	segMagic = segio.SegMagic
+	idxMagic = segio.IdxMagic
 )
 
-// indexEntry locates one record's payload inside a segment file.
+// SegmentWriter is the generic segment+index lane writer, re-exported
+// for reuse outside the trace store (the engine's outbox logs use the
+// same container). See segio.Writer for the format contract.
+type SegmentWriter = segio.Writer
+
+// SegmentIndex is one sealed segment's index: file name plus entries
+// in record order.
+type SegmentIndex = segio.SegmentIndex
+
+// SegmentEntry locates one record inside a segment file.
+type SegmentEntry = segio.Entry
+
+// NewSegmentWriter constructs a generic segment lane writer (see
+// SegmentWriter).
+var NewSegmentWriter = segio.NewWriter
+
+// EncodeSegmentIndex and DecodeSegmentIndex are the GRFTIDX1 sidecar
+// codec, re-exported for external readers of trace or outbox-log
+// indexes.
+var (
+	EncodeSegmentIndex = segio.EncodeIndex
+	DecodeSegmentIndex = segio.DecodeIndex
+)
+
+// indexEntry locates one record's payload inside a segment file, with
+// trace-typed coordinates.
 type indexEntry struct {
 	Kind      recordKind
 	Superstep int
@@ -54,43 +86,66 @@ type segmentIndex struct {
 	Entries []indexEntry
 }
 
-// segmentWriter owns one lane: it buffers the current segment in
-// memory, seals it to a segment file when full or at barriers, and
-// rewrites the lane's index sidecar on flush. Not safe for concurrent
-// use; each lane's drainer goroutine is its only caller.
+func toSegioEntry(ent indexEntry) segio.Entry {
+	return segio.Entry{
+		Kind:   uint8(ent.Kind),
+		Step:   ent.Superstep,
+		ID:     int64(ent.VertexID),
+		Offset: ent.Offset,
+		Length: ent.Length,
+	}
+}
+
+func fromSegioEntry(ent segio.Entry) indexEntry {
+	return indexEntry{
+		Kind:      recordKind(ent.Kind),
+		Superstep: ent.Step,
+		VertexID:  pregel.VertexID(ent.ID),
+		Offset:    ent.Offset,
+		Length:    ent.Length,
+	}
+}
+
+// segmentWriter owns one lane: the generic segio writer plus the trace
+// record codec and drop accounting. Not safe for concurrent use; each
+// lane's drainer goroutine is its only caller.
 type segmentWriter struct {
-	fs      dfs.FileSystem
-	jobDir  string
-	lane    string // "worker_00" or "master"
-	segSize int
+	w *segio.Writer
 	// dropped counts records discarded when a segment cannot be
 	// committed; shared with the owning sink's DroppedRecords.
 	dropped *atomic.Int64
 
-	e   *pregel.Encoder // payload scratch
-	hdr *pregel.Encoder // frame-length scratch
-
-	buf    bytes.Buffer // current open segment, magic included
-	cur    []indexEntry
-	sealed []segmentIndex
-	segSeq int
-	recs   int64
-	dirty  bool // records or seals since the last index rewrite
+	e, hdr *pregel.Encoder // payload and frame-length scratch
 }
 
 func newSegmentWriter(fs dfs.FileSystem, jobDir, lane string, segSize int, dropped *atomic.Int64) *segmentWriter {
 	sw := &segmentWriter{
-		fs: fs, jobDir: jobDir, lane: lane, segSize: segSize, dropped: dropped,
-		e: pregel.NewEncoder(), hdr: pregel.NewEncoder(),
+		dropped: dropped,
+		e:       pregel.NewEncoder(), hdr: pregel.NewEncoder(),
 	}
 	if sw.dropped == nil {
 		sw.dropped = new(atomic.Int64)
 	}
-	sw.buf.WriteString(segMagic)
+	sw.w = segio.NewWriter(fs, jobDir, lane, segSize, func(n int) { sw.dropped.Add(int64(n)) })
 	return sw
 }
 
-func (sw *segmentWriter) indexPath() string { return sw.jobDir + "/" + sw.lane + ".idx" }
+func (sw *segmentWriter) indexPath() string { return sw.w.IndexPath() }
+
+// entryFor builds a record's index coordinates from its payload and
+// concrete type.
+func entryFor(rec any, payload []byte) indexEntry {
+	ent := indexEntry{Kind: recordKind(payload[0]), Length: len(payload)}
+	switch r := rec.(type) {
+	case *VertexCapture:
+		ent.Superstep, ent.VertexID = r.Superstep, r.ID
+	case *MasterCapture:
+		ent.Superstep = r.Superstep
+	case *SuperstepMeta:
+		ent.Superstep = r.Superstep
+	}
+	return ent
+}
 
 // encodeFrame appends rec's frame (uvarint length ++ payload) to buf,
 // using e and hdr as scratch, and returns the record's index entry
@@ -104,19 +159,8 @@ func encodeFrame(e, hdr *pregel.Encoder, buf *bytes.Buffer, rec any) (indexEntry
 	payload := e.Bytes()
 	hdr.Reset()
 	hdr.PutUvarint(uint64(len(payload)))
-	ent := indexEntry{
-		Kind:   recordKind(payload[0]),
-		Offset: buf.Len() + hdr.Len(),
-		Length: len(payload),
-	}
-	switch r := rec.(type) {
-	case *VertexCapture:
-		ent.Superstep, ent.VertexID = r.Superstep, r.ID
-	case *MasterCapture:
-		ent.Superstep = r.Superstep
-	case *SuperstepMeta:
-		ent.Superstep = r.Superstep
-	}
+	ent := entryFor(rec, payload)
+	ent.Offset = buf.Len() + hdr.Len()
 	buf.Write(hdr.Bytes())
 	buf.Write(payload)
 	return ent, nil
@@ -125,18 +169,13 @@ func encodeFrame(e, hdr *pregel.Encoder, buf *bytes.Buffer, rec any) (indexEntry
 // append encodes rec into the open segment and records its index
 // entry, sealing the segment once it passes the size threshold.
 func (sw *segmentWriter) append(rec any) error {
-	ent, err := encodeFrame(sw.e, sw.hdr, &sw.buf, rec)
-	if err != nil {
+	sw.e.Reset()
+	if err := encodeRecordPayload(sw.e, rec); err != nil {
 		sw.dropped.Add(1)
 		return err
 	}
-	sw.cur = append(sw.cur, ent)
-	sw.recs++
-	sw.dirty = true
-	if sw.buf.Len() >= sw.segSize {
-		return sw.seal()
-	}
-	return nil
+	payload := sw.e.Bytes()
+	return sw.w.AppendRecord(payload, toSegioEntry(entryFor(rec, payload)))
 }
 
 // appendFramed copies a batch of pre-framed records — frames as laid
@@ -148,108 +187,49 @@ func (sw *segmentWriter) appendFramed(frames []byte, entries []indexEntry) error
 	if len(entries) == 0 {
 		return nil
 	}
-	delta := sw.buf.Len()
-	sw.buf.Write(frames)
-	for _, ent := range entries {
-		ent.Offset += delta
-		sw.cur = append(sw.cur, ent)
+	conv := make([]segio.Entry, len(entries))
+	for i, ent := range entries {
+		conv[i] = toSegioEntry(ent)
 	}
-	sw.recs += int64(len(entries))
-	sw.dirty = true
-	if sw.buf.Len() >= sw.segSize {
-		return sw.seal()
-	}
-	return nil
+	return sw.w.AppendFramed(frames, conv)
 }
 
-// seal commits the open segment as its own file. Empty segments are
-// skipped so barriers without captures cost no file. A segment that
-// cannot be committed is discarded — its records count as dropped and
-// the job continues with a degraded capture — so a persistently
-// failing store can never grow the buffer without bound.
-func (sw *segmentWriter) seal() error {
-	if len(sw.cur) == 0 {
-		return nil
-	}
-	name := fmt.Sprintf("%s/seg_%06d.seg", sw.lane, sw.segSeq)
-	err := dfs.WriteFile(sw.fs, sw.jobDir+"/"+name, sw.buf.Bytes())
-	if err != nil {
-		sw.dropped.Add(int64(len(sw.cur)))
-	} else {
-		sw.sealed = append(sw.sealed, segmentIndex{Name: name, Entries: sw.cur})
-		sw.segSeq++
-	}
-	sw.cur = nil
-	sw.buf.Reset()
-	sw.buf.WriteString(segMagic)
-	return err
-}
+// seal commits the open segment as its own file (see segio.Writer.Seal
+// for the drop-on-failure contract).
+func (sw *segmentWriter) seal() error { return sw.w.Seal() }
 
 // flush seals the open segment and rewrites the lane's index sidecar:
 // the barrier hook. After flush returns, every record appended so far
 // is durable and indexed (or counted as dropped).
-func (sw *segmentWriter) flush() error {
-	if !sw.dirty {
-		return nil
-	}
-	err := sw.seal()
-	if ierr := dfs.WriteFile(sw.fs, sw.indexPath(), encodeIndex(sw.sealed)); ierr != nil && err == nil {
-		err = ierr
-	}
-	if err == nil {
-		sw.dirty = false
-	}
-	return err
-}
+func (sw *segmentWriter) flush() error { return sw.w.Flush() }
 
 func encodeIndex(segs []segmentIndex) []byte {
-	e := pregel.NewEncoder()
-	e.PutRaw([]byte(idxMagic))
-	e.PutUvarint(uint64(len(segs)))
-	for _, seg := range segs {
-		e.PutString(seg.Name)
-		e.PutUvarint(uint64(len(seg.Entries)))
-		for _, ent := range seg.Entries {
-			e.PutUvarint(uint64(ent.Kind))
-			e.PutUvarint(uint64(ent.Superstep))
-			e.PutVarint(int64(ent.VertexID))
-			e.PutUvarint(uint64(ent.Offset))
-			e.PutUvarint(uint64(ent.Length))
+	conv := make([]segio.SegmentIndex, len(segs))
+	for i, seg := range segs {
+		ents := make([]segio.Entry, len(seg.Entries))
+		for j, ent := range seg.Entries {
+			ents[j] = toSegioEntry(ent)
 		}
+		conv[i] = segio.SegmentIndex{Name: seg.Name, Entries: ents}
 	}
-	return e.Bytes()
+	return segio.EncodeIndex(conv)
 }
 
 func decodeIndex(raw []byte) ([]segmentIndex, error) {
-	if len(raw) < len(idxMagic) || string(raw[:len(idxMagic)]) != idxMagic {
-		return nil, ErrBadMagic
-	}
-	d := pregel.NewDecoder(raw[len(idxMagic):])
-	nSegs := d.Uvarint()
-	if d.Err() != nil {
-		return nil, d.Err()
-	}
-	segs := make([]segmentIndex, 0, nSegs)
-	for i := uint64(0); i < nSegs; i++ {
-		seg := segmentIndex{Name: d.String()}
-		nEnts := d.Uvarint()
-		if d.Err() != nil {
-			return nil, d.Err()
+	segs, err := segio.DecodeIndex(raw)
+	if err != nil {
+		if err == segio.ErrBadMagic {
+			return nil, ErrBadMagic
 		}
-		seg.Entries = make([]indexEntry, 0, nEnts)
-		for j := uint64(0); j < nEnts; j++ {
-			seg.Entries = append(seg.Entries, indexEntry{
-				Kind:      recordKind(d.Uvarint()),
-				Superstep: int(d.Uvarint()),
-				VertexID:  pregel.VertexID(d.Varint()),
-				Offset:    int(d.Uvarint()),
-				Length:    int(d.Uvarint()),
-			})
-		}
-		if d.Err() != nil {
-			return nil, d.Err()
-		}
-		segs = append(segs, seg)
+		return nil, err
 	}
-	return segs, d.Err()
+	conv := make([]segmentIndex, len(segs))
+	for i, seg := range segs {
+		ents := make([]indexEntry, len(seg.Entries))
+		for j, ent := range seg.Entries {
+			ents[j] = fromSegioEntry(ent)
+		}
+		conv[i] = segmentIndex{Name: seg.Name, Entries: ents}
+	}
+	return conv, nil
 }
