@@ -9,6 +9,7 @@
 //	graft-bench -fig 8 -scale 0.0005 -reps 5 -workers 8
 //	graft-bench -chaos -scale 0.0005 -workers 8 -seed 42
 //	graft-bench -metrics -scale 0.0005 -reps 5 -out BENCH_metrics.json
+//	graft-bench -profiler -scale 0.0005 -reps 5 -out BENCH_profiler.json
 //	graft-bench -capture -scale 0.0005 -reps 5 -out BENCH_capture.json
 //	graft-bench -engine -scale 0.0002 -reps 5 -out BENCH_engine.json
 //	graft-bench -dfs -reps 5 -out BENCH_dfs.json
@@ -31,6 +32,7 @@ func main() {
 	fig := flag.Int("fig", 0, "run a paper figure (8, alias 7)")
 	chaos := flag.Bool("chaos", false, "run the workloads under deterministic storage-fault injection")
 	metricsBench := flag.Bool("metrics", false, "measure the telemetry layer's own overhead and phase breakdowns")
+	profilerBench := flag.Bool("profiler", false, "measure the profiler layer's overhead (traffic matrices + anomaly detectors) and check the traffic invariant")
 	captureBench := flag.Bool("capture", false, "compare the async capture pipeline against synchronous trace writes")
 	engineBench := flag.Bool("engine", false, "compare the lock-free lane message plane against the mutex-sharded plane")
 	dfsBench := flag.Bool("dfs", false, "compare the pipelined streaming DFS data path against the seed serial path")
@@ -115,6 +117,44 @@ func main() {
 				for _, p := range problems {
 					fmt.Println("  -", p)
 				}
+			}
+		}
+	case *profilerBench:
+		workloads := harness.StandardWorkloads(*scale, *seed, *workers)
+		if *out == "" {
+			*out = "BENCH_profiler.json"
+		}
+		fmt.Printf("Profiler overhead: traffic capture + anomaly detection on vs off (scale %g, %d reps, %d workers)\n",
+			*scale, *reps, *workers)
+		ps, err := harness.RunProfilerBench(workloads, harness.Options{
+			Reps: *reps, Seed: *seed, Progress: os.Stderr,
+		})
+		if err != nil {
+			log.Fatalf("graft-bench: %v", err)
+		}
+		fmt.Println()
+		harness.PrintProfilerBench(os.Stdout, ps)
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatalf("graft-bench: %v", err)
+		}
+		if err := harness.WriteProfilerBenchJSON(f, ps); err != nil {
+			log.Fatalf("graft-bench: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatalf("graft-bench: %v", err)
+		}
+		fmt.Printf("\nwrote %s\n", *out)
+		if *check {
+			problems := harness.CheckProfilerBench(ps, 0.05)
+			if len(problems) == 0 {
+				fmt.Println("profiler check: OK (overhead < 5% on every workload; traffic matrices balance)")
+			} else {
+				fmt.Println("profiler check deviations:")
+				for _, p := range problems {
+					fmt.Println("  -", p)
+				}
+				os.Exit(1)
 			}
 		}
 	case *captureBench:

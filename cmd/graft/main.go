@@ -11,15 +11,18 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net"
 	"net/http"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
 	"graft/internal/algorithms"
+	"graft/internal/anomaly"
 	"graft/internal/core"
 	"graft/internal/dfs"
 	"graft/internal/faults"
@@ -177,6 +180,8 @@ func cmdRun(args []string) error {
 	msgBatch := fs.Int("msg-batch", 0, "messages buffered per destination partition before flushing (0: default 1024)")
 	rebalanceSkew := fs.Float64("rebalance-skew", 0, "migrate hot vertices off stragglers when compute/message skew exceeds this ratio (0 disables)")
 	rebalanceMaxMoves := fs.Int("rebalance-max-moves", 0, "cap on vertices migrated per rebalance (0: default 1024)")
+	anomalyWindow := fs.Int("anomaly-window", 0, "sliding window in supersteps for the anomaly detectors (0: default 8, negative: disable detection and traffic-matrix capture)")
+	anomalyOut := fs.String("anomaly-out", "", "write detected anomaly events to this file as JSON Lines")
 	fs.Parse(args)
 
 	var plane pregel.PlaneMode
@@ -217,6 +222,10 @@ func cmdRun(args []string) error {
 		MsgFlushBatch:     *msgBatch,
 		RebalanceSkew:     *rebalanceSkew,
 		RebalanceMaxMoves: *rebalanceMaxMoves,
+		AnomalyWindow:     *anomalyWindow,
+	}
+	if *anomalyOut != "" && (*noMetrics || *anomalyWindow < 0) {
+		return fmt.Errorf("-anomaly-out needs the anomaly layer (drop -no-metrics and use a non-negative -anomaly-window)")
 	}
 
 	var reg *metrics.Registry
@@ -367,6 +376,11 @@ func cmdRun(args []string) error {
 			fmt.Fprintln(os.Stderr, "graft: writing job.metrics:", err)
 		}
 	}
+	if *anomalyOut != "" && stats != nil {
+		if err := writeAnomalyJSONL(*anomalyOut, stats.Anomalies); err != nil {
+			fmt.Fprintln(os.Stderr, "graft: anomaly-out:", err)
+		}
+	}
 	if runErr != nil {
 		fmt.Printf("job FAILED: %v\n", runErr)
 		if session != nil {
@@ -395,6 +409,9 @@ func cmdRun(args []string) error {
 	if stats.Rebalances > 0 {
 		fmt.Printf("rebalancer: %d migrations moved %d vertices\n", stats.Rebalances, stats.VerticesMigrated)
 	}
+	if len(stats.Anomalies) > 0 {
+		fmt.Printf("anomalies: %d events (%s)\n", len(stats.Anomalies), anomalySummary(stats.Anomalies))
+	}
 	if session != nil {
 		fmt.Printf("captures: %d (limit hit: %v)\n", session.Captures(), session.LimitHit())
 		if n := session.DroppedRecords(); n > 0 {
@@ -403,6 +420,42 @@ func cmdRun(args []string) error {
 	}
 	linger(*metricsAddr, *metricsLinger)
 	return nil
+}
+
+// anomalySummary rolls an event feed up into "kind: n" pairs, sorted
+// by kind, for the run summary line.
+func anomalySummary(evs []anomaly.Event) string {
+	counts := map[string]int{}
+	for _, ev := range evs {
+		counts[string(ev.Kind)]++
+	}
+	kinds := make([]string, 0, len(counts))
+	for k := range counts {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	parts := make([]string, len(kinds))
+	for i, k := range kinds {
+		parts[i] = fmt.Sprintf("%s: %d", k, counts[k])
+	}
+	return strings.Join(parts, ", ")
+}
+
+// writeAnomalyJSONL writes one JSON object per detected anomaly event,
+// in emission order — the -anomaly-out feed alert pipelines tail.
+func writeAnomalyJSONL(path string, evs []anomaly.Event) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	for _, ev := range evs {
+		if err := enc.Encode(ev); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	return f.Close()
 }
 
 // linger keeps the process alive after the job so scrapers can still

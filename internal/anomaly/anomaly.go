@@ -1,0 +1,257 @@
+// Package anomaly is Graft's detection layer: a set of pluggable
+// detectors evaluated once per superstep over a sliding window of the
+// engine's folded telemetry (skew indicators, straggler identity,
+// message counters, the inter-partition traffic matrix, and the
+// cumulative resilience counters). Detectors emit structured Events —
+// kind, severity, offending worker, evidence values and a suggested
+// action — that flow into pregel.Stats, the metrics registry and
+// JSONL stream, the GUI profiler page, and `graft run` output.
+//
+// The package is deliberately dependency-free so the pregel engine can
+// import it: the engine feeds Samples at each barrier, and the
+// rebalancer consumes the same one-superstep skew model (EvaluateSkew)
+// the straggler/skew detectors are built on, so detection and
+// mitigation share one definition of "skewed".
+//
+// Detection is coordinator-side only — one Observe call per superstep
+// over a handful of floats plus an optional W×W matrix scan — so its
+// cost is independent of graph size and stays far inside the <5%
+// observability overhead budget (graft-bench -profiler measures it).
+package anomaly
+
+import "fmt"
+
+// Kind identifies a detector / event family.
+type Kind string
+
+const (
+	// KindStragglerPersistence: the same worker has been the superstep
+	// straggler, with hot compute skew, for several consecutive steps.
+	KindStragglerPersistence Kind = "straggler-persistence"
+	// KindSkewTrend: compute or message skew rising monotonically
+	// across the whole window.
+	KindSkewTrend Kind = "skew-trend"
+	// KindCombineCollapse: the combine ratio dropped to a fraction of
+	// its window mean — the combiner stopped earning its keep.
+	KindCombineCollapse Kind = "combine-collapse"
+	// KindTrafficHotspot: one lane, sender row, or receiver column of
+	// the traffic matrix carries an outsized share of the superstep's
+	// messages.
+	KindTrafficHotspot Kind = "traffic-hotspot"
+	// KindFaultSpike: the cumulative corrupt-artifact counters (corrupt
+	// log segments, corrupt checkpoints, quarantined records) jumped
+	// within the window.
+	KindFaultSpike Kind = "fault-spike"
+	// KindRecoveryStorm: several recoveries within the window.
+	KindRecoveryStorm Kind = "recovery-storm"
+)
+
+// Severity grades an event.
+type Severity string
+
+const (
+	SevInfo     Severity = "info"
+	SevWarn     Severity = "warn"
+	SevCritical Severity = "critical"
+)
+
+// Event is one structured anomaly: what was detected, where, and the
+// evidence behind the verdict.
+type Event struct {
+	Kind      Kind     `json:"kind"`
+	Severity  Severity `json:"severity"`
+	Superstep int      `json:"superstep"`
+	// Worker is the offending worker/partition, or -1 for job-wide
+	// events (combine collapse, fault spikes, recovery storms).
+	Worker int `json:"worker"`
+	// Peer is the second endpoint for lane-level events (the sender of
+	// a hot lane whose receiver is Worker); -1 otherwise.
+	Peer int `json:"peer"`
+	// Value is the primary evidence value (skew ratio, traffic share,
+	// counter delta) and Threshold what it was compared against.
+	Value     float64 `json:"value"`
+	Threshold float64 `json:"threshold"`
+	// Window is how many supersteps of evidence back the verdict.
+	Window int `json:"window"`
+	// Detail is the human-readable evidence line; Action the suggested
+	// mitigation.
+	Detail string `json:"detail"`
+	Action string `json:"action"`
+}
+
+// String renders an event as the CLI prints it.
+func (e Event) String() string {
+	where := "job"
+	if e.Worker >= 0 {
+		where = fmt.Sprintf("worker %d", e.Worker)
+	}
+	return fmt.Sprintf("[%s] %s @superstep %d (%s): %s", e.Severity, e.Kind, e.Superstep, where, e.Detail)
+}
+
+// WorkerSample is one worker's share of a superstep sample.
+type WorkerSample struct {
+	Worker       int
+	ComputeNanos int64
+	Sent         int64
+}
+
+// Sample is the telemetry of one finished superstep, as the engine
+// folds it at the barrier. Counter fields ending in "cumulative" hold
+// job-lifetime totals; detectors difference them across the window.
+type Sample struct {
+	Superstep   int
+	ComputeSkew float64
+	MessageSkew float64
+	// Straggler is the slowest worker this superstep, -1 if unknown.
+	Straggler int
+	// Sent/Received/Combined are this superstep's message counters
+	// (Sent is pre-combine).
+	Sent, Received, Combined int64
+	// Workers is the per-worker breakdown, indexed by worker ID.
+	Workers []WorkerSample
+	// Traffic is the numWorkers×numWorkers message-flow matrix
+	// (Traffic[s][d] = messages partition s sent to partition d,
+	// pre-combine); nil when the engine does not capture it.
+	Traffic [][]int64
+	// Recoveries is the cumulative recovery count so far.
+	Recoveries int
+	// CorruptArtifacts is the cumulative count of corrupt or
+	// quarantined storage artifacts (log segments, checkpoints,
+	// dropped records) observed so far.
+	CorruptArtifacts int64
+}
+
+// DefaultWindow is the sliding-window size used when Config.Window is
+// not positive.
+const DefaultWindow = 8
+
+// Config tunes the detector catalog. The zero value gets defaults from
+// withDefaults; thresholds are documented on each field.
+type Config struct {
+	// Window is the sliding-window size in supersteps (default 8).
+	Window int
+	// StragglerRuns is how many consecutive supersteps the same worker
+	// must be the hot straggler before straggler-persistence fires
+	// (default 3).
+	StragglerRuns int
+	// SkewHot is the skew ratio (max/mean) at which a worker counts as
+	// hot for the straggler/trend detectors (default 1.5, matching the
+	// GUI dashboard's threshold).
+	SkewHot float64
+	// HotspotShare is the fraction of a superstep's traffic a single
+	// lane/row/column must carry to count as a hotspot (default 0.5).
+	// An axis must also carry at least twice its balanced share, so
+	// small clusters cannot trip the detector on even traffic.
+	HotspotShare float64
+	// HotspotMinMessages is the minimum superstep traffic before the
+	// hotspot detector looks at shares at all (default 64).
+	HotspotMinMessages int64
+	// CombineDropRatio: combine-collapse fires when the current combine
+	// ratio falls below CombineDropRatio × the window mean (default
+	// 0.5), provided the mean was at least CombineFloor (default 0.2).
+	CombineDropRatio float64
+	CombineFloor     float64
+	// FaultSpikeMin is the corrupt-artifact delta within one window
+	// that counts as a spike (default 2).
+	FaultSpikeMin int64
+	// StormRecoveries is the recovery count within one window that
+	// counts as a storm (default 2).
+	StormRecoveries int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Window <= 0 {
+		c.Window = DefaultWindow
+	}
+	if c.StragglerRuns <= 0 {
+		c.StragglerRuns = 3
+	}
+	if c.SkewHot <= 0 {
+		c.SkewHot = 1.5
+	}
+	if c.HotspotShare <= 0 {
+		c.HotspotShare = 0.5
+	}
+	if c.HotspotMinMessages <= 0 {
+		c.HotspotMinMessages = 64
+	}
+	if c.CombineDropRatio <= 0 {
+		c.CombineDropRatio = 0.5
+	}
+	if c.CombineFloor <= 0 {
+		c.CombineFloor = 0.2
+	}
+	if c.FaultSpikeMin <= 0 {
+		c.FaultSpikeMin = 2
+	}
+	if c.StormRecoveries <= 0 {
+		c.StormRecoveries = 2
+	}
+	return c
+}
+
+// Detector is one pluggable check, called once per Observe with the
+// current window (oldest sample first, newest last — never empty).
+// Detectors may keep state across calls (streaks, emission gates);
+// they run on the engine's coordinator goroutine, never concurrently.
+type Detector interface {
+	Name() string
+	Observe(win []Sample, cfg Config) []Event
+}
+
+// Engine evaluates the detector catalog over a sliding window of
+// samples. Not safe for concurrent use: feed it from one goroutine
+// (the pregel engine calls Observe at the barrier).
+type Engine struct {
+	cfg    Config
+	win    []Sample
+	dets   []Detector
+	events []Event
+	counts map[Kind]int
+}
+
+// New builds an engine with the standard detector catalog and the
+// given thresholds (zero fields get defaults).
+func New(cfg Config) *Engine {
+	e := &Engine{cfg: cfg.withDefaults(), counts: map[Kind]int{}}
+	e.dets = []Detector{
+		&stragglerPersistence{worker: -1},
+		&skewTrend{lastEmit: neverEmitted},
+		&combineCollapse{lastEmit: neverEmitted},
+		&trafficHotspot{lastEmit: neverEmitted},
+		&faultSpike{lastEmit: neverEmitted},
+		&recoveryStorm{lastEmit: neverEmitted},
+	}
+	return e
+}
+
+// Config returns the engine's effective (defaulted) configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Observe folds one superstep sample into the window and runs every
+// detector, returning the events emitted at this superstep (nil when
+// quiet).
+func (e *Engine) Observe(s Sample) []Event {
+	e.win = append(e.win, s)
+	if len(e.win) > e.cfg.Window {
+		e.win = e.win[1:]
+	}
+	var out []Event
+	for _, d := range e.dets {
+		out = append(out, d.Observe(e.win, e.cfg)...)
+	}
+	if len(out) > 0 {
+		e.events = append(e.events, out...)
+		for _, ev := range out {
+			e.counts[ev.Kind]++
+		}
+	}
+	return out
+}
+
+// Events returns every event emitted so far, in superstep order.
+func (e *Engine) Events() []Event { return e.events }
+
+// Counts returns the per-kind event totals (the map is live; callers
+// must not mutate it).
+func (e *Engine) Counts() map[Kind]int { return e.counts }

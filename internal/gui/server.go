@@ -100,6 +100,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /job/{id}/reproduce-suite", s.jobView(s.handleReproduceSuite))
 	mux.HandleFunc("GET /job/{id}/reproduce-master", s.jobView(s.handleReproduceMaster))
 	mux.HandleFunc("GET /job/{id}/metrics", s.handleMetrics)
+	mux.HandleFunc("GET /job/{id}/profiler", s.handleProfiler)
 
 	// Live metrics endpoints, active once AttachMetrics has been called.
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {

@@ -60,6 +60,7 @@ var superstepNavTmpl = template.Must(template.New("nav").Parse(`
   <a href="/job/{{.JobID}}/master?superstep={{.Superstep}}">Master</a>
   <a href="/job/{{.JobID}}/replaycheck?superstep={{.Superstep}}">Replay check</a>
   <a href="/job/{{.JobID}}/metrics?superstep={{.Superstep}}">Metrics</a>
+  <a href="/job/{{.JobID}}/profiler?superstep={{.Superstep}}">Profiler</a>
 </div>
 <div class="aggs"><strong>Global data</strong><br>
 vertices: {{.NumVertices}}<br>edges: {{.NumEdges}}<br>
@@ -167,7 +168,8 @@ var metricsTmpl = template.Must(template.New("metrics").Parse(`
 <p class="muted">Per-worker superstep telemetry folded at each barrier: compute wall
 time, barrier waits, message traffic, trace-capture cost, and straggler/skew
 indicators (max/mean ratios; a superstep is flagged when a worker runs
-&ge;1.5&times; the mean).</p>
+&ge;1.5&times; the mean). The <a href="/job/{{.JobID}}/profiler">profiler view</a>
+has the per-worker timeline, the traffic heatmap and the anomaly feed.</p>
 <table>
 <tr><th>Algorithm</th><td>{{.Algorithm}}</td><th>Status</th><td>{{.Status}}</td>
 <th>Workers</th><td>{{.Workers}}</td><th>Runtime</th><td>{{.Runtime}}</td></tr>
@@ -231,6 +233,53 @@ indicators (max/mean ratios; a superstep is flagged when a worker runs
 </tr>
 {{end}}
 </table>
+{{end}}`))
+
+var profilerTmpl = template.Must(template.New("profiler").Parse(`
+<p class="muted">Profiler view: per-worker superstep timeline (stacked
+<span style="color:#246">&#9632;</span> compute /
+<span style="color:#e90">&#9632;</span> barrier /
+<span style="color:#999">&#9632;</span> capture bars, scaled to the busiest worker-superstep),
+the sender&#8594;receiver traffic heatmap of one superstep, and the anomaly feed.
+<a href="/job/{{.JobID}}/metrics">Metrics dashboard</a> |
+<a href="/job/{{.JobID}}/tabular?superstep={{.Selected}}">Trace at this superstep</a></p>
+<h2>Superstep timeline ({{.Workers}} workers)</h2>
+{{.Timeline}}
+<h2>Traffic heatmap — superstep {{.Selected}}</h2>
+<div class="nav">
+{{if .HasPrev}}<a href="?superstep={{.Prev}}">&laquo; Previous superstep</a>{{else}}<span class="muted">&laquo; Previous superstep</span>{{end}}
+<strong>Superstep {{.Selected}}</strong>
+{{if .HasNext}}<a href="?superstep={{.Next}}">Next superstep &raquo;</a>{{else}}<span class="muted">Next superstep &raquo;</span>{{end}}
+{{if .HasTraffic}}| {{.TrafficSum}} messages in the matrix ({{.SelectedSent}} sent this superstep){{end}}
+</div>
+{{.Heatmap}}
+{{if .SelectedAnomalies}}
+<h2>Anomalies at superstep {{.Selected}}</h2>
+<table>
+<tr><th>Kind</th><th>Severity</th><th>Where</th><th>Value</th><th>Threshold</th><th>Detail</th><th>Suggested action</th></tr>
+{{range .SelectedAnomalies}}
+<tr{{if .Critical}} style="background:#fdd"{{else if .Warn}} style="background:#fec"{{end}}>
+<td>{{.Kind}}</td><td>{{.Severity}}</td><td>{{.Where}}</td>
+<td>{{.Value}}</td><td>{{.Threshold}}</td><td>{{.Detail}}</td><td>{{.Action}}</td>
+</tr>
+{{end}}
+</table>
+{{end}}
+<h2>Anomaly feed ({{len .Anomalies}} events{{range $kind, $n := .AnomalyCounts}}; {{$kind}}: {{$n}}{{end}})</h2>
+{{if .Anomalies}}
+<table>
+<tr><th>Superstep</th><th>Kind</th><th>Severity</th><th>Where</th><th>Value</th><th>Threshold</th><th>Detail</th><th>Suggested action</th><th></th></tr>
+{{range .Anomalies}}
+<tr{{if .Critical}} style="background:#fdd"{{else if .Warn}} style="background:#fec"{{end}}>
+<td><a href="/job/{{$.JobID}}/profiler?superstep={{.Superstep}}">{{.Superstep}}</a></td>
+<td>{{.Kind}}</td><td>{{.Severity}}</td><td>{{.Where}}</td>
+<td>{{.Value}}</td><td>{{.Threshold}}</td><td>{{.Detail}}</td><td>{{.Action}}</td>
+<td><a href="/job/{{$.JobID}}/tabular?superstep={{.Superstep}}">trace</a></td>
+</tr>
+{{end}}
+</table>
+{{else}}
+<p class="muted">No anomalies: every superstep stayed inside the detector thresholds.</p>
 {{end}}`))
 
 var offlineIndexTmpl = template.Must(template.New("offlineIndex").Parse(`

@@ -50,9 +50,14 @@ func (r *Registry) ServeVars(w http.ResponseWriter, req *http.Request) {
 		"graft.faults.fallbacks":    snap.Faults.Fallbacks,
 		"graft.faults.dropped":      snap.Faults.DroppedRecords,
 		"graft.faults.corrupt_ckpt": snap.Faults.CorruptCheckpoints,
+		"graft.traffic_messages":    snap.TrafficTotal(),
+		"graft.anomalies":           len(snap.Anomalies),
 		"runtime.goroutines":        runtime.NumGoroutine(),
 		"runtime.heap_alloc":        mem.HeapAlloc,
 		"runtime.num_gc":            mem.NumGC,
+	}
+	for kind, n := range snap.AnomalyCounts {
+		vars["graft.anomalies."+kind] = n
 	}
 	if snap.DFS != nil {
 		vars["graft.dfs.bytes_written"] = snap.DFS.BytesWritten

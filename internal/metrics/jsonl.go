@@ -142,6 +142,15 @@ var volatileKeys = map[string]bool{
 	"max_compute_skew": true, "max_message_skew": true,
 }
 
+// volatileDropKeys are fields whose very presence varies run-to-run:
+// anomaly events derive from timing-based skew, so one run may emit
+// them where another stays quiet. Zeroing is not enough — the key is
+// removed entirely. (The traffic matrix, by contrast, is a pure
+// function of the graph and partitioning, so it stays.)
+var volatileDropKeys = map[string]bool{
+	"anomalies": true, "anomaly_counts": true,
+}
+
 // NormalizeJSONL rewrites a JSONL metrics stream with every
 // timing-derived field zeroed and object keys sorted, leaving only the
 // deterministic structure (supersteps, message counts, vertices,
@@ -173,6 +182,10 @@ func scrubVolatile(v any) {
 		for k, val := range vv {
 			if volatileKeys[k] {
 				vv[k] = 0
+				continue
+			}
+			if volatileDropKeys[k] {
+				delete(vv, k)
 				continue
 			}
 			scrubVolatile(val)

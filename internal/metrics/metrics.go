@@ -24,6 +24,7 @@ import (
 	"sync"
 	"time"
 
+	"graft/internal/anomaly"
 	"graft/internal/dfs"
 	"graft/internal/pregel"
 )
@@ -136,6 +137,27 @@ type JobMetrics struct {
 	// moved, read-ahead hits, quarantined replicas) when a DFS source
 	// is registered; nil otherwise.
 	DFS *dfs.ClusterStats `json:"dfs,omitempty"`
+	// Anomalies is the flat feed of every anomaly event emitted over
+	// the job, in superstep order (also present per superstep inside
+	// Supersteps); AnomalyCounts rolls them up by kind.
+	Anomalies     []anomaly.Event `json:"anomalies,omitempty"`
+	AnomalyCounts map[string]int  `json:"anomaly_counts,omitempty"`
+}
+
+// TrafficTotal sums a job's captured traffic matrices: the number of
+// messages whose sender→receiver lane is accounted for. When the
+// engine captured the matrix at every superstep it equals
+// Totals.MessagesSent — the invariant the profiler smoke test asserts.
+func (jm *JobMetrics) TrafficTotal() int64 {
+	var n int64
+	for _, ss := range jm.Supersteps {
+		for _, row := range ss.Traffic {
+			for _, v := range row {
+				n += v
+			}
+		}
+	}
+	return n
 }
 
 // Registry collects one job's metrics and serves them. It implements
@@ -229,6 +251,15 @@ func (r *Registry) SuperstepFinished(superstep int, ss pregel.SuperstepStats) {
 	defer r.mu.Unlock()
 	r.jm.Supersteps = append(r.jm.Supersteps, ss)
 	r.jm.Totals.add(ss)
+	if len(ss.Anomalies) > 0 {
+		r.jm.Anomalies = append(r.jm.Anomalies, ss.Anomalies...)
+		if r.jm.AnomalyCounts == nil {
+			r.jm.AnomalyCounts = map[string]int{}
+		}
+		for _, ev := range ss.Anomalies {
+			r.jm.AnomalyCounts[string(ev.Kind)]++
+		}
+	}
 	if r.sink != nil {
 		r.sink.Superstep(&r.jm, ss)
 	}
@@ -266,6 +297,13 @@ func (r *Registry) Snapshot() JobMetrics {
 	defer r.mu.Unlock()
 	snap := r.jm
 	snap.Supersteps = append([]pregel.SuperstepStats(nil), r.jm.Supersteps...)
+	snap.Anomalies = append([]anomaly.Event(nil), r.jm.Anomalies...)
+	if len(r.jm.AnomalyCounts) > 0 {
+		snap.AnomalyCounts = make(map[string]int, len(r.jm.AnomalyCounts))
+		for k, v := range r.jm.AnomalyCounts {
+			snap.AnomalyCounts[k] = v
+		}
+	}
 	if snap.Running {
 		var fs pregel.FaultStats
 		for _, p := range r.sources {

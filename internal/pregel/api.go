@@ -1,6 +1,10 @@
 package pregel
 
-import "time"
+import (
+	"time"
+
+	"graft/internal/anomaly"
+)
 
 // Computation is the vertex-centric program, Giraph's
 // Computation/vertex.compute(). Compute is called once per active
@@ -204,6 +208,16 @@ type SuperstepStats struct {
 	CaptureQueueDepth int `json:"capture_queue,omitempty"`
 	// Workers holds the per-worker breakdown, indexed by worker ID.
 	Workers []WorkerStepStats `json:"workers,omitempty"`
+	// Traffic is the numWorkers×numWorkers message-flow matrix of this
+	// superstep: Traffic[s][d] counts the messages partition s sent to
+	// partition d (pre-combine, so the matrix sums to MessagesSent). It
+	// is snapshotted from the lane matrix at the barrier, before the
+	// lanes merge into the shards. Nil under PlaneMutex, when telemetry
+	// is disabled, or when Config.AnomalyWindow is negative.
+	Traffic [][]int64 `json:"traffic,omitempty"`
+	// Anomalies holds the events the anomaly detectors emitted at this
+	// superstep's barrier (empty unless detection is enabled).
+	Anomalies []anomaly.Event `json:"anomalies,omitempty"`
 	// Migrations records the vertex migrations the skew rebalancer
 	// performed at this superstep's barrier (empty unless
 	// Config.RebalanceSkew triggered).

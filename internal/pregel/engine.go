@@ -7,6 +7,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"graft/internal/anomaly"
 )
 
 // TerminationReason explains why a job stopped.
@@ -76,6 +78,9 @@ type Stats struct {
 	// VerticesMigrated counts vertices the rebalancer moved between
 	// partitions over the whole job.
 	VerticesMigrated int64
+	// Anomalies collects every event the anomaly detectors emitted over
+	// the job, in superstep order (nil when detection is disabled).
+	Anomalies []anomaly.Event
 	// PerSuperstep has one entry per executed superstep.
 	PerSuperstep []SuperstepStats
 }
@@ -96,6 +101,9 @@ func (s *Stats) String() string {
 	}
 	if s.Rebalances > 0 {
 		line += fmt.Sprintf(" rebalances=%d migrated=%d", s.Rebalances, s.VerticesMigrated)
+	}
+	if len(s.Anomalies) > 0 {
+		line += fmt.Sprintf(" anomalies=%d", len(s.Anomalies))
 	}
 	return line
 }
@@ -214,6 +222,12 @@ type Config struct {
 	// RebalanceMaxMoves caps the vertices migrated per rebalance; 0
 	// means the default (1024).
 	RebalanceMaxMoves int
+	// AnomalyWindow is the sliding-window size (in supersteps) of the
+	// anomaly detectors; 0 means the default (anomaly.DefaultWindow).
+	// A negative value disables detection and the traffic-matrix
+	// capture that feeds it. Detection requires telemetry, so it is
+	// also off when DisableMetrics is set.
+	AnomalyWindow int
 	// NoPartitionSkip disables the halted-partition fast path: normally
 	// a partition with zero active vertices and no pending messages is
 	// skipped in the superstep scan (its worker would only iterate
@@ -379,6 +393,10 @@ type engine struct {
 	// migration (-1 if none); replay uses it to decide whether logged
 	// frame destinations still match current routing.
 	lastMigration int
+
+	// anom evaluates the anomaly detectors over the folded superstep
+	// telemetry (nil when detection or telemetry is disabled).
+	anom *anomaly.Engine
 }
 
 func newEngine(j *Job) *engine {
@@ -408,6 +426,9 @@ func newEngine(j *Job) *engine {
 		for i := range en.laneCombineOff {
 			en.laneCombineOff[i] = make([]bool, w)
 		}
+	}
+	if !j.cfg.DisableMetrics && j.cfg.AnomalyWindow >= 0 {
+		en.anom = anomaly.New(anomaly.Config{Window: j.cfg.AnomalyWindow})
 	}
 	en.cur = en.newStore()
 	en.next = en.newStore()
@@ -614,14 +635,30 @@ func (en *engine) run(start time.Time) (*Stats, error) {
 		en.mergeAggregators(results)
 		sent := en.next.total()
 		en.stats.TotalMessages += sent
+		// The traffic matrix must be read before integrateMissing merges
+		// the lanes into the shards (and zeroes the lane counters); at
+		// this point the next store's shards are still empty, so the
+		// matrix provably sums to MessagesSent.
+		var traffic [][]int64
+		if collect && en.anom != nil {
+			traffic = en.next.trafficMatrix()
+		}
 		droppedNow := en.integrateMissing()
 		en.stats.MessagesDropped += droppedNow
 		ss := SuperstepStats{Superstep: en.superstep, ActiveAtEnd: active, MessagesSent: sent, Straggler: -1}
 		ss.MessagesCombined = en.next.combinedTotal()
 		if collect {
 			en.foldTelemetry(&ss, results, phaseWall)
-			if en.cfg.RebalanceSkew > 0 {
-				en.rebalance(&ss)
+			ss.Traffic = traffic
+			if en.anom != nil || en.cfg.RebalanceSkew > 0 {
+				sample := en.anomalySample(&ss)
+				if en.anom != nil {
+					ss.Anomalies = en.anom.Observe(sample)
+					en.stats.Anomalies = append(en.stats.Anomalies, ss.Anomalies...)
+				}
+				if en.cfg.RebalanceSkew > 0 {
+					en.rebalance(&ss, anomaly.EvaluateSkew(sample, en.cfg.RebalanceSkew))
+				}
 			}
 		}
 		// Barrier flush: listeners with an async capture pipeline drain
@@ -877,6 +914,44 @@ func (en *engine) foldTelemetry(ss *SuperstepStats, results []workerResult, wall
 	if sumSent > 0 {
 		ss.MessageSkew = float64(maxSent) * float64(n) / float64(sumSent)
 	}
+}
+
+// anomalySample projects one superstep's folded telemetry into the
+// anomaly package's input form, adding the cumulative resilience
+// counters the fault-spike and recovery-storm detectors difference
+// across their window. Runs on the coordinator at the barrier.
+func (en *engine) anomalySample(ss *SuperstepStats) anomaly.Sample {
+	s := anomaly.Sample{
+		Superstep:   ss.Superstep,
+		ComputeSkew: ss.ComputeSkew,
+		MessageSkew: ss.MessageSkew,
+		Straggler:   ss.Straggler,
+		Sent:        ss.MessagesSent,
+		Received:    ss.MessagesReceived,
+		Combined:    ss.MessagesCombined,
+		Traffic:     ss.Traffic,
+		Recoveries:  en.stats.Recoveries,
+	}
+	corrupt := en.stats.Faults.CorruptCheckpoints + en.stats.Faults.CorruptLogSegments +
+		en.stats.Faults.DroppedRecords
+	if p, ok := en.cfg.CheckpointFS.(FaultStatsProvider); ok {
+		// The checkpoint FS counters are folded into stats only at job
+		// end; sample them live so spikes are visible mid-run.
+		fs := p.FaultStats()
+		corrupt += fs.CorruptCheckpoints + fs.CorruptLogSegments + fs.DroppedRecords
+	}
+	s.CorruptArtifacts = corrupt
+	if len(ss.Workers) > 0 {
+		s.Workers = make([]anomaly.WorkerSample, len(ss.Workers))
+		for i, w := range ss.Workers {
+			s.Workers[i] = anomaly.WorkerSample{
+				Worker:       w.Worker,
+				ComputeNanos: w.ComputeTime.Nanoseconds(),
+				Sent:         w.MessagesSent,
+			}
+		}
+	}
+	return s
 }
 
 func (en *engine) safeCompute(ctx *workerCtx, v *Vertex, msgs []Value) (err error) {

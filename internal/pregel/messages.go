@@ -311,6 +311,27 @@ func (s *messageStore) pendingIDs(shard int, exclude map[VertexID]*Vertex) []Ver
 	return ids
 }
 
+// trafficMatrix snapshots the lane matrix's per-cell message counts:
+// element [s][d] is the number of messages (pre-combine) worker s sent
+// toward partition d this superstep. It must be read at the barrier
+// before mergeLane folds the columns away; at that point a fresh
+// store's shards are empty, so the matrix sums to total(). Returns nil
+// in PlaneMutex mode, which has no per-sender accounting.
+func (s *messageStore) trafficMatrix() [][]int64 {
+	if s.mode != PlaneLanes {
+		return nil
+	}
+	m := make([][]int64, len(s.lanes))
+	for i := range s.lanes {
+		row := make([]int64, len(s.lanes[i]))
+		for j := range s.lanes[i] {
+			row[j] = s.lanes[i][j].n
+		}
+		m[i] = row
+	}
+	return m
+}
+
 // total returns the number of messages received across all shards
 // (before combining), including messages still sitting in unmerged
 // lanes.

@@ -1,41 +1,33 @@
 package pregel
 
-import "sort"
+import (
+	"sort"
+
+	"graft/internal/anomaly"
+)
 
 // defaultRebalanceMaxMoves is used when Config.RebalanceMaxMoves is 0.
 const defaultRebalanceMaxMoves = 1024
 
 // rebalance is the skew-driven adaptive repartitioner. It runs on the
 // coordinator at the barrier, after foldTelemetry and the lane merge,
-// when Config.RebalanceSkew is set: if the superstep's compute or
-// message skew reached the threshold, it migrates the hottest vertices
-// (by out-degree, the deterministic proxy for message work) off the
-// straggler partition to the least-loaded one — vertex objects,
-// pending next-superstep messages, and the routing table consulted by
-// partitionFor, so checkpoints and recovery stay consistent. Placement
-// never changes computation semantics, only which worker runs a
-// vertex, so traces and results are identical with the rebalancer on
-// or off.
-func (en *engine) rebalance(ss *SuperstepStats) {
-	if len(en.parts) < 2 || len(ss.Workers) != len(en.parts) {
+// when Config.RebalanceSkew is set. The trigger is no longer its own:
+// the engine evaluates the anomaly package's shared skew model
+// (anomaly.EvaluateSkew — the same verdict the straggler-persistence
+// detector counts streaks of) and passes the verdict in, so detection
+// and mitigation cannot drift apart. When the verdict triggered, the
+// hottest vertices (by out-degree, the deterministic proxy for message
+// work) migrate off the indicted partition to the least-loaded one —
+// vertex objects, pending next-superstep messages, and the routing
+// table consulted by partitionFor, so checkpoints and recovery stay
+// consistent. Placement never changes computation semantics, only
+// which worker runs a vertex, so traces and results are identical with
+// the rebalancer on or off.
+func (en *engine) rebalance(ss *SuperstepStats, v anomaly.SkewVerdict) {
+	if !v.Triggered || len(en.parts) < 2 || len(ss.Workers) != len(en.parts) {
 		return
 	}
-	thr := en.cfg.RebalanceSkew
-	from, skew := -1, 0.0
-	switch {
-	case ss.ComputeSkew >= thr && ss.Straggler >= 0:
-		from, skew = ss.Straggler, ss.ComputeSkew
-	case ss.MessageSkew >= thr:
-		skew = ss.MessageSkew
-		var maxSent int64 = -1
-		for _, w := range ss.Workers {
-			if w.MessagesSent > maxSent {
-				maxSent, from = w.MessagesSent, w.Worker
-			}
-		}
-	default:
-		return
-	}
+	from, skew := v.Worker, v.Skew
 	src := en.parts[from]
 	if len(src.verts) < 2 {
 		return
