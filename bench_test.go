@@ -174,7 +174,7 @@ func BenchmarkFig2(b *testing.B) {
 
 // fig3to5DB builds one traced buggy-GC run shared by the GUI-view
 // benches (Figures 3, 4, 5).
-func fig3to5DB(b *testing.B) *trace.DB {
+func fig3to5DB(b *testing.B) trace.View {
 	b.Helper()
 	store := trace.NewStore(dfs.NewMemFS(), "gui")
 	g := graphgen.RegularBipartite(2000, 3)
@@ -200,7 +200,7 @@ func fig3to5DB(b *testing.B) *trace.DB {
 	if _, err := job.Run(); err != nil {
 		b.Fatal(err)
 	}
-	db, err := store.LoadDB("gui-bench")
+	db, err := store.OpenReader("gui-bench")
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -143,7 +143,7 @@ func TestChaosJobSurvivesAndMatchesFaultFreeRun(t *testing.T) {
 
 	// The trace survived the storage abuse and replays cleanly: every
 	// captured compute call re-executes to exactly the captured outcome.
-	db, err := out.store.LoadDB(out.jobID)
+	db, err := out.store.OpenReader(out.jobID)
 	if err != nil {
 		t.Fatalf("trace unreadable after chaos: %v", err)
 	}
@@ -236,7 +236,7 @@ func TestChaosTraceDegradesToSecondary(t *testing.T) {
 	if len(jr.StorageDegraded) == 0 {
 		t.Error("job result does not record the degraded paths")
 	}
-	db, err := store.LoadDB("degraded-job")
+	db, err := store.OpenReader("degraded-job")
 	if err != nil {
 		t.Fatalf("degraded trace unreadable: %v", err)
 	}

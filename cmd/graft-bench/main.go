@@ -14,6 +14,7 @@
 //	graft-bench -engine -scale 0.0002 -reps 5 -out BENCH_engine.json
 //	graft-bench -dfs -reps 5 -out BENCH_dfs.json
 //	graft-bench -recovery -scale 0.0002 -reps 5 -out BENCH_recovery.json
+//	graft-bench -serve -scale 0.0002 -reps 5 -out BENCH_serve.json
 package main
 
 import (
@@ -25,6 +26,7 @@ import (
 	"graft/internal/graphgen"
 	"graft/internal/harness"
 	"graft/internal/pregel"
+	"graft/internal/servebench"
 )
 
 func main() {
@@ -37,6 +39,7 @@ func main() {
 	engineBench := flag.Bool("engine", false, "compare the lock-free lane message plane against the mutex-sharded plane")
 	dfsBench := flag.Bool("dfs", false, "compare the pipelined streaming DFS data path against the seed serial path")
 	recoveryBench := flag.Bool("recovery", false, "compare log-based confined recovery against full checkpoint restart")
+	serveBench := flag.Bool("serve", false, "compare N debugged jobs run back to back against the same jobs sharing a concurrent session")
 	out := flag.String("out", "", "output file for the -metrics / -capture / -engine report (default BENCH_<kind>.json)")
 	faultP := flag.Float64("fault-p", 0.3, "per-operation fault probability for -chaos")
 	chaosRecovery := flag.String("chaos-recovery", "log", "how the -chaos crash recovers: log (confined replay) or checkpoint (full restart)")
@@ -303,6 +306,43 @@ func main() {
 				fmt.Println("recovery check: OK (values match in both modes; confined replay beats restart on late failures)")
 			} else {
 				fmt.Println("recovery check deviations:")
+				for _, p := range problems {
+					fmt.Println("  -", p)
+				}
+				os.Exit(1)
+			}
+		}
+	case *serveBench:
+		if *out == "" {
+			*out = "BENCH_serve.json"
+		}
+		fmt.Printf("Serving mode: %d debugged PageRank jobs, sequential session vs %d concurrent slots (scale %g, %d reps, %d worker(s)/job, store latency %v/op)\n",
+			servebench.ServeBenchJobs, servebench.ServeBenchJobs, *scale, *reps, servebench.ServeBenchWorkers, servebench.ServeBenchStoreLatency)
+		row, err := servebench.RunServeBench(*scale, harness.Options{
+			Reps: *reps, Seed: *seed, Progress: os.Stderr,
+		})
+		if err != nil {
+			log.Fatalf("graft-bench: %v", err)
+		}
+		fmt.Println()
+		servebench.PrintServeBench(os.Stdout, row)
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatalf("graft-bench: %v", err)
+		}
+		if err := servebench.WriteServeBenchJSON(f, row); err != nil {
+			log.Fatalf("graft-bench: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatalf("graft-bench: %v", err)
+		}
+		fmt.Printf("\nwrote %s\n", *out)
+		if *check {
+			problems := servebench.CheckServeBench(row)
+			if len(problems) == 0 {
+				fmt.Println("serve check: OK (concurrent session >= 1.3x aggregate throughput; digests unchanged)")
+			} else {
+				fmt.Println("serve check deviations:")
 				for _, p := range problems {
 					fmt.Println("  -", p)
 				}

@@ -54,6 +54,8 @@ func main() {
 		err = cmdDiff(os.Args[2:])
 	case "trace-check":
 		err = cmdTraceCheck(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -65,8 +67,9 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: graft <run|jobs|show|repro|diff|trace-check> [flags]
+	fmt.Fprintln(os.Stderr, `usage: graft <run|serve|jobs|show|repro|diff|trace-check> [flags]
 run         executes an algorithm under the Graft debugger
+serve       runs the multi-job daemon: submit/cancel jobs over HTTP, GUI included
 jobs        lists traced jobs
 show        dumps the captures of a job
 repro       generates a context-reproduction Go test
@@ -84,31 +87,7 @@ func openStore(dir string) (*trace.Store, error) {
 
 // buildAlgorithm resolves the -alg flag.
 func buildAlgorithm(name string, seed int64, supersteps int) (*algorithms.Algorithm, error) {
-	switch name {
-	case "gc":
-		return algorithms.NewGraphColoring(seed), nil
-	case "gc-buggy":
-		return algorithms.NewBuggyGraphColoring(seed), nil
-	case "rw":
-		return algorithms.NewRandomWalk(seed, supersteps), nil
-	case "rw16":
-		return algorithms.NewRandomWalk16(seed, supersteps), nil
-	case "mwm":
-		return algorithms.NewMaximumWeightMatching(supersteps * 100), nil
-	case "cc":
-		return algorithms.NewConnectedComponents(), nil
-	case "pagerank":
-		return algorithms.NewPageRank(supersteps, 0.85), nil
-	case "sssp":
-		return algorithms.NewSSSP(0), nil
-	case "lpa":
-		return algorithms.NewLabelPropagation(supersteps * 10), nil
-	case "triangles":
-		return algorithms.NewTriangleCount(), nil
-	case "kcore":
-		return algorithms.NewKCore(3), nil
-	}
-	return nil, fmt.Errorf("unknown algorithm %q (gc, gc-buggy, rw, rw16, mwm, cc, pagerank, sssp, lpa, triangles, kcore)", name)
+	return algorithms.ByName(name, seed, supersteps)
 }
 
 // buildGraph resolves -dataset: a Table 1/2 name (scaled) or a local

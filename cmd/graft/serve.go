@@ -1,0 +1,83 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"graft"
+	"graft/internal/serve"
+)
+
+// cmdServe runs the multi-job daemon: one graft.Session over a shared
+// trace store, jobs submitted and canceled over HTTP, the GUI mounted
+// on the same address.
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
+	traceDir := fs.String("trace-dir", "graft-traces", "shared trace directory (one subdirectory per job)")
+	maxConcurrent := fs.Int("max-concurrent", 4, "jobs running superstep loops at once")
+	maxPending := fs.Int("max-pending", 0, "queued-job admission limit (0: 4x max-concurrent)")
+	maxWorkersPerJob := fs.Int("max-workers-per-job", 0, "per-job NumWorkers cap (0: uncapped)")
+	workersTotal := fs.Int("workers-total", 0, "global worker-goroutine budget across all jobs (0: uncapped)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	store, err := openStore(*traceDir)
+	if err != nil {
+		return err
+	}
+	session, err := graft.NewSession(graft.SessionConfig{
+		Store:             store,
+		MaxConcurrentJobs: *maxConcurrent,
+		MaxPendingJobs:    *maxPending,
+		MaxWorkersPerJob:  *maxWorkersPerJob,
+		MaxTotalWorkers:   *workersTotal,
+	})
+	if err != nil {
+		return err
+	}
+	daemon, err := serve.New(session)
+	if err != nil {
+		return err
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: daemon.Handler()}
+	errCh := make(chan error, 1)
+	go func() {
+		if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errCh <- err
+			return
+		}
+		errCh <- nil
+	}()
+	fmt.Printf("graft serve: listening on http://%s (traces under %s, max %d concurrent jobs)\n",
+		*addr, *traceDir, *maxConcurrent)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		daemon.Close()
+		return err
+	case s := <-sig:
+		fmt.Printf("graft serve: %v, shutting down\n", s)
+	}
+
+	// Cancel every unfinished job (their engines stop at the next
+	// barrier, traces stay readable), then drain the HTTP server.
+	daemon.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		return err
+	}
+	return <-errCh
+}

@@ -43,7 +43,7 @@ func tracedPlaneRun(t *testing.T, g *Graph, alg *algorithms.Algorithm, stripComb
 	if err != nil {
 		t.Fatal(err)
 	}
-	db, err := store.LoadDB("job")
+	db, err := store.OpenReader("job")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -72,7 +72,7 @@ func main() {
 	// suspicious vertex and find where it (wrongly) entered the MIS.
 	// In the GUI this is the Next/Previous superstep buttons over the
 	// captured contexts; a captured vertex carries its whole history.
-	db, err := store.LoadDB("gc-scenario")
+	db, err := graft.OpenTrace(store, "gc-scenario")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -94,7 +94,7 @@ func main() {
 		}); err != nil {
 			log.Fatal(err)
 		}
-		db, err = store.LoadDB("gc-scenario-2")
+		db, err = graft.OpenTrace(store, "gc-scenario-2")
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -144,7 +144,7 @@ func main() {
 
 // pickCapturedConflict returns a conflicting vertex that the random
 // capture actually recorded, with its history.
-func pickCapturedConflict(db *trace.DB, conflicts []pair) (graft.VertexID, []*trace.VertexCapture) {
+func pickCapturedConflict(db trace.View, conflicts []pair) (graft.VertexID, []*trace.VertexCapture) {
 	for _, p := range conflicts {
 		for _, id := range []graft.VertexID{p.a, p.b} {
 			if h := db.CapturesOf(id); len(h) > 0 {

@@ -52,7 +52,7 @@ func main() {
 	}
 	fmt.Printf("buggy GC finished: %d supersteps, %d captures\n", res.Stats.Supersteps, res.Captures)
 
-	db, err := store.LoadDB("ext-demo")
+	db, err := graft.OpenTrace(store, "ext-demo")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -74,7 +74,7 @@ func main() {
 	}
 
 	// Extension 2: the adjacency constraint over the trace.
-	conflicts := db.CheckAdjacentPairs(func(a, b *trace.VertexCapture) bool {
+	conflicts := trace.CheckAdjacentPairs(db, func(a, b *trace.VertexCapture) bool {
 		av, aok := a.ValueAfter.(*algorithms.GCValue)
 		bv, bok := b.ValueAfter.(*algorithms.GCValue)
 		if !aok || !bok || av.State != algorithms.GCColored || bv.State != algorithms.GCColored {

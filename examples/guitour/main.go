@@ -95,7 +95,7 @@ func main() {
 }
 
 func firstCapturedID(store *trace.Store) string {
-	db, err := store.LoadDB("gc-tour")
+	db, err := graft.OpenTrace(store, "gc-tour")
 	if err != nil {
 		log.Fatal(err)
 	}

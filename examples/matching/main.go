@@ -58,7 +58,7 @@ func main() {
 	fmt.Printf("MWM run 2 (debugged): %d supersteps, %d captures after superstep 500\n",
 		res2.Stats.Supersteps, res2.Captures)
 
-	db, err := store.LoadDB("mwm-scenario")
+	db, err := graft.OpenTrace(store, "mwm-scenario")
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -49,7 +49,7 @@ func main() {
 	}
 
 	// Visualize (programmatically): step vertex 2 through time.
-	db, err := store.LoadDB("quickstart")
+	db, err := graft.OpenTrace(store, "quickstart")
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -54,7 +54,7 @@ func main() {
 
 	// The M box turns red in some supersteps (paper: "we see that the
 	// message value constraint icon is red in some supersteps").
-	db, err := store.LoadDB("rw16-scenario")
+	db, err := graft.OpenTrace(store, "rw16-scenario")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -117,7 +117,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	db2, err := store.LoadDB("rw64-fixed")
+	db2, err := graft.OpenTrace(store, "rw64-fixed")
 	if err != nil {
 		log.Fatal(err)
 	}

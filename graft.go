@@ -29,7 +29,7 @@
 package graft
 
 import (
-	"fmt"
+	"context"
 	"time"
 
 	"graft/internal/algorithms"
@@ -72,9 +72,14 @@ type (
 	// Store lays trace files out in a file system.
 	Store = trace.Store
 	// TraceDB is the eager in-memory index over one job's trace.
-	// New code that only queries part of a trace should prefer
-	// TraceReader (Store.OpenReader), which satisfies the same
-	// TraceView interface without loading every segment.
+	//
+	// Deprecated: TraceDB (and Store.LoadDB, which builds it) loads
+	// every trace segment up front. Open traces with OpenTrace /
+	// Store.OpenReader instead and program against TraceView — the
+	// interface both satisfy — so lookups read only the segments they
+	// touch. TraceDB remains for whole-trace scans (e.g. cross-checking
+	// the lazy reader, as `graft trace-check` does) and for traces in
+	// the legacy non-segmented layout.
 	TraceDB = trace.DB
 	// TraceView is the read API shared by the eager TraceDB and the
 	// lazy TraceReader: everything the GUI and the Context Reproducer
@@ -200,6 +205,11 @@ const (
 	// in DroppedRecords: compute never stalls on trace I/O.
 	Drop = trace.Drop
 )
+
+// ErrInvalidTraceOption is the sentinel wrapped by trace-pipeline
+// option failures (negative queue capacities, segment or batch sizes),
+// surfaced through Run/Submit when the sink is created.
+var ErrInvalidTraceOption = trace.ErrInvalidOption
 
 // Capture-pipeline options, re-exported so callers configure sinks
 // without importing internal/trace.
@@ -328,74 +338,26 @@ type RunResult struct {
 }
 
 // Run executes comp over g, attaching Graft when opts.Debug is set.
-// The engine mutates g in place; clone the graph to reuse it.
+// The engine mutates g in place; clone the graph to reuse it. Run is a
+// compatibility wrapper over a one-job Session: long-lived callers that
+// multiplex jobs (or need cancellation) should use NewSession and
+// Session.Submit, whose Job handles add Wait/Cancel/State on the same
+// execution path.
 //
 // When the computation itself fails (an exception scenario), Run
 // returns both the error and a RunResult: the trace — including the
 // captured failing context — is still written, which is the point.
 func Run(g *Graph, comp Computation, opts RunOptions) (*RunResult, error) {
-	cfg := opts.Engine
-	res := &RunResult{}
-	var session *core.Graft
-	if opts.Debug != nil {
-		if opts.Store == nil {
-			return nil, fmt.Errorf("graft: RunOptions.Debug set without Store")
-		}
-		if opts.JobID == "" {
-			return nil, fmt.Errorf("graft: RunOptions.Debug set without JobID")
-		}
-		if cfg.NumWorkers <= 0 {
-			cfg.NumWorkers = pregel.DefaultNumWorkers
-		}
-		var err error
-		session, err = core.Attach(opts.Store, core.Options{
-			JobID:       opts.JobID,
-			Algorithm:   opts.Algorithm,
-			Description: opts.Description,
-			NumWorkers:  cfg.NumWorkers,
-			Trace:       opts.Trace,
-		}, g, *opts.Debug)
-		if err != nil {
-			return nil, err
-		}
-		comp = session.Instrument(comp)
-		cfg.Master = session.InstrumentMaster(cfg.Master)
-		cfg.Listener = session.Chain(cfg.Listener)
-		res.JobID = opts.JobID
+	if err := validateRunOptions(&opts); err != nil {
+		return nil, err
 	}
-
-	job := pregel.NewJob(g, comp, cfg)
-	for _, spec := range opts.Aggregators {
-		job.RegisterAggregator(spec.Name, spec.Agg, spec.Persistent)
-	}
-	stats, err := job.Run()
-	res.Stats = stats
-	if session != nil {
-		res.Captures = session.Captures()
-		res.LimitHit = session.LimitHit()
-		if werr := session.Err(); werr != nil && err == nil {
-			err = fmt.Errorf("graft: trace write: %w", werr)
-		}
-	}
-	return res, err
+	return runJob(context.Background(), g, comp, opts, nil)
 }
 
 // RunAlgorithm runs a packaged Algorithm — wiring its master, combiner,
 // aggregators and superstep bound into opts — under the same debugging
 // setup as Run. Explicit opts.Engine fields win over the algorithm's.
 func RunAlgorithm(g *Graph, alg *Algorithm, opts RunOptions) (*RunResult, error) {
-	if opts.Algorithm == "" {
-		opts.Algorithm = alg.Name
-	}
-	if opts.Engine.Master == nil {
-		opts.Engine.Master = alg.Master
-	}
-	if opts.Engine.Combiner == nil {
-		opts.Engine.Combiner = alg.Combiner
-	}
-	if opts.Engine.MaxSupersteps == 0 {
-		opts.Engine.MaxSupersteps = alg.MaxSupersteps
-	}
-	opts.Aggregators = append(opts.Aggregators, alg.Aggregators...)
+	mergeAlgorithm(&opts, alg)
 	return Run(g, alg.Compute, opts)
 }

@@ -74,7 +74,7 @@ func TestRunWithDebuggingEndToEnd(t *testing.T) {
 	if res.Captures == 0 || res.JobID != "facade-test" {
 		t.Fatalf("result = %+v", res)
 	}
-	db, err := store.LoadDB("facade-test")
+	db, err := store.OpenReader("facade-test")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,8 +82,8 @@ func TestRunWithDebuggingEndToEnd(t *testing.T) {
 	if len(ids) != 3 { // 3 and its neighbors 2, 4
 		t.Fatalf("captured %v", ids)
 	}
-	if db.Meta.Algorithm != "cc" {
-		t.Errorf("algorithm = %q", db.Meta.Algorithm)
+	if db.JobMeta().Algorithm != "cc" {
+		t.Errorf("algorithm = %q", db.JobMeta().Algorithm)
 	}
 }
 
@@ -101,7 +101,7 @@ func TestRunAlgorithmWiresMasterAndAggregators(t *testing.T) {
 	if res.Stats.Reason != pregel.ReasonConverged {
 		t.Fatalf("GC did not converge: %v", res.Stats.Reason)
 	}
-	db, err := store.LoadDB("gc-facade")
+	db, err := store.OpenReader("gc-facade")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,7 +135,7 @@ func TestRunReturnsResultOnComputeFailure(t *testing.T) {
 	if res == nil || res.Captures != 1 {
 		t.Fatalf("failure result = %+v", res)
 	}
-	db, err := store.LoadDB("fail-test")
+	db, err := store.OpenReader("fail-test")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,8 +143,8 @@ func TestRunReturnsResultOnComputeFailure(t *testing.T) {
 	if c == nil || c.Exception == nil || c.Exception.Message != "kaput" {
 		t.Fatalf("capture = %+v", c)
 	}
-	if db.Result == nil || !strings.Contains(db.Result.Error, "kaput") {
-		t.Errorf("job.done = %+v", db.Result)
+	if db.JobResult() == nil || !strings.Contains(db.JobResult().Error, "kaput") {
+		t.Errorf("job.done = %+v", db.JobResult())
 	}
 }
 

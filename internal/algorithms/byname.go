@@ -1,0 +1,42 @@
+package algorithms
+
+import "fmt"
+
+// Names lists the algorithm names ByName accepts, in display order.
+func Names() []string {
+	return []string{"gc", "gc-buggy", "rw", "rw16", "mwm", "cc", "pagerank", "sssp", "lpa", "triangles", "kcore"}
+}
+
+// ByName builds a packaged algorithm from its short name — the shared
+// resolver behind `graft run -alg` and the serve daemon's submit
+// endpoint. seed feeds the randomized algorithms; supersteps scales
+// the iteration bounds the same way the CLI always has (PageRank runs
+// exactly that many rounds, matching/LPA get a generous multiple as a
+// safety bound).
+func ByName(name string, seed int64, supersteps int) (*Algorithm, error) {
+	switch name {
+	case "gc":
+		return NewGraphColoring(seed), nil
+	case "gc-buggy":
+		return NewBuggyGraphColoring(seed), nil
+	case "rw":
+		return NewRandomWalk(seed, supersteps), nil
+	case "rw16":
+		return NewRandomWalk16(seed, supersteps), nil
+	case "mwm":
+		return NewMaximumWeightMatching(supersteps * 100), nil
+	case "cc":
+		return NewConnectedComponents(), nil
+	case "pagerank":
+		return NewPageRank(supersteps, 0.85), nil
+	case "sssp":
+		return NewSSSP(0), nil
+	case "lpa":
+		return NewLabelPropagation(supersteps * 10), nil
+	case "triangles":
+		return NewTriangleCount(), nil
+	case "kcore":
+		return NewKCore(3), nil
+	}
+	return nil, fmt.Errorf("unknown algorithm %q (%v)", name, Names())
+}

@@ -102,7 +102,7 @@ func TestCheckAdjacentPairsFindsColorConflicts(t *testing.T) {
 		}
 		return av.Color != bv.Color
 	}
-	violations := db.CheckAdjacentPairs(sameColor)
+	violations := trace.CheckAdjacentPairs(db, sameColor)
 	if len(violations) == 0 {
 		t.Fatal("buggy GC produced no adjacent same-color pairs in the trace")
 	}
@@ -123,7 +123,7 @@ func TestCheckAdjacentPairsFindsColorConflicts(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if bad := db2.CheckAdjacentPairs(sameColor); len(bad) != 0 {
+	if bad := trace.CheckAdjacentPairs(db2, sameColor); len(bad) != 0 {
 		t.Errorf("fixed GC flagged %d pairs", len(bad))
 	}
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime/debug"
@@ -51,6 +52,7 @@ type Graft struct {
 
 	inner pregel.JobListener
 	start time.Time
+	ctx   context.Context
 }
 
 // Options identifies the job being debugged.
@@ -68,6 +70,11 @@ type Options struct {
 	// trace.WithSynchronous). The default is the asynchronous pipeline
 	// with Block backpressure.
 	Trace []trace.Option
+	// Context, when non-nil, bounds the session: once canceled, new
+	// capture records are skipped instead of enqueued, so a canceled
+	// job's compute goroutines never block on a Block-policy capture
+	// queue while draining toward the shutdown barrier.
+	Context context.Context
 }
 
 // Attach creates a Graft session: it validates the DebugConfig,
@@ -88,6 +95,10 @@ func Attach(store *trace.Store, opts Options, graph *pregel.Graph, cfg DebugConf
 		rcs:      make([]recordingContext, opts.NumWorkers),
 		capNanos: make([]paddedNanos, opts.NumWorkers),
 		start:    time.Now(),
+		ctx:      opts.Context,
+	}
+	if g.ctx == nil {
+		g.ctx = context.Background()
 	}
 	sink, err := store.NewSink(trace.JobMeta{
 		JobID:       opts.JobID,
@@ -458,6 +469,14 @@ func (ic *instrumentedComputation) Compute(ctx pregel.Context, v *pregel.Vertex,
 func (g *Graft) capture(ctx pregel.Context, v *pregel.Vertex, msgs []pregel.Value,
 	rec *recordingContext, reasons trace.Reason,
 	valueBefore pregel.Value, edgesBefore []pregel.Edge, exc *trace.ExceptionInfo) {
+
+	// A canceled job is shutting down at the next barrier; its remaining
+	// computes still run (barrier consistency) but their captures would
+	// record a superstep that will never fold, and Block backpressure
+	// could stall the drain. Skip them.
+	if g.ctx.Err() != nil {
+		return
+	}
 
 	if max := g.cfg.maxCaptures(); max >= 0 {
 		if n := g.captures.Add(1); n > max {

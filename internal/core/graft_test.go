@@ -15,7 +15,7 @@ import (
 // runDebugged runs alg over g with Graft attached and returns the
 // loaded trace DB plus the session and job error.
 func runDebugged(t *testing.T, alg *algorithms.Algorithm, g *pregel.Graph,
-	cfg pregel.Config, dc DebugConfig) (*trace.DB, *Graft, error) {
+	cfg pregel.Config, dc DebugConfig) (trace.View, *Graft, error) {
 	t.Helper()
 	store := trace.NewStore(dfs.NewMemFS(), "traces")
 	if cfg.NumWorkers <= 0 {
@@ -45,7 +45,7 @@ func runDebugged(t *testing.T, alg *algorithms.Algorithm, g *pregel.Graph,
 	}
 	_, runErr := job.Run()
 
-	db, err := store.LoadDB("test-job")
+	db, err := store.OpenReader("test-job")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,8 +87,8 @@ func TestCaptureByID(t *testing.T) {
 		t.Error("CC vertex should have voted to halt")
 	}
 	// The job result must be recorded.
-	if db.Result == nil || db.Result.Error != "" || db.Result.Captures != session.Captures() {
-		t.Errorf("job result = %+v", db.Result)
+	if db.JobResult() == nil || db.JobResult().Error != "" || db.JobResult().Captures != session.Captures() {
+		t.Errorf("job result = %+v", db.JobResult())
 	}
 }
 
@@ -266,7 +266,7 @@ func TestExceptionCapture(t *testing.T) {
 	if !db.StatusAt(1).Exception {
 		t.Error("E box not red at superstep 1")
 	}
-	if db.Result == nil || db.Result.Error == "" {
+	if db.JobResult() == nil || db.JobResult().Error == "" {
 		t.Error("job.done should record the failure")
 	}
 }
@@ -333,7 +333,7 @@ func TestMaxCapturesSafetyNet(t *testing.T) {
 	if session.Captures() != 25 {
 		t.Errorf("captures = %d, want exactly 25", session.Captures())
 	}
-	if db.Result == nil || !db.Result.CaptureLimitHit {
+	if db.JobResult() == nil || !db.JobResult().CaptureLimitHit {
 		t.Error("job.done should record the limit hit")
 	}
 	if db.TotalCaptures() != 25 {

@@ -23,15 +23,35 @@ func (s *Server) AttachMetrics(reg *metrics.Registry) {
 	s.metricsReg = reg
 }
 
+// AttachMetricsSource mounts a per-job registry resolver: what a
+// multi-job daemon (graft serve) uses so each live job's dashboard and
+// profiler render from that job's own registry. The source returns nil
+// for jobs it does not know (finished jobs fall back to the persisted
+// job.metrics file). Call before Handler.
+func (s *Server) AttachMetricsSource(src func(jobID string) *metrics.Registry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.metricsSrc = src
+}
+
 func (s *Server) liveMetrics() *metrics.Registry {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.metricsReg
 }
 
-// jobMetrics resolves a job's metrics: persisted job.metrics first,
-// then the attached live registry.
+// jobMetrics resolves a job's metrics: a live per-job registry first
+// (so a running job's dashboard refreshes every superstep), then the
+// persisted job.metrics, then the legacy single attached registry.
 func (s *Server) jobMetrics(jobID string) (metrics.JobMetrics, error) {
+	s.mu.Lock()
+	src := s.metricsSrc
+	s.mu.Unlock()
+	if src != nil {
+		if reg := src(jobID); reg != nil {
+			return reg.Snapshot(), nil
+		}
+	}
 	jm, err := metrics.ReadJobMetrics(s.store.FS, s.store.MetricsPath(jobID))
 	if err == nil {
 		return jm, nil
@@ -42,6 +62,18 @@ func (s *Server) jobMetrics(jobID string) (metrics.JobMetrics, error) {
 		}
 	}
 	return jm, err
+}
+
+// handleMetricsJSON serves one job's metrics snapshot as JSON — the
+// machine-readable face of the dashboard, resolved live-first like the
+// HTML page (what the serve daemon's per-job /metrics.json is).
+func (s *Server) handleMetricsJSON(w http.ResponseWriter, r *http.Request) {
+	jm, err := s.jobMetrics(r.PathValue("id"))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	writeJSON(w, jm)
 }
 
 // migrationSummary renders a superstep's rebalancer migrations for the

@@ -32,6 +32,7 @@ type Server struct {
 	specs      map[string]repro.GenSpec
 	comps      map[string]pregel.Computation
 	metricsReg *metrics.Registry
+	metricsSrc func(jobID string) *metrics.Registry
 }
 
 // NewServer creates a GUI server over the given trace store.
@@ -100,6 +101,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /job/{id}/reproduce-suite", s.jobView(s.handleReproduceSuite))
 	mux.HandleFunc("GET /job/{id}/reproduce-master", s.jobView(s.handleReproduceMaster))
 	mux.HandleFunc("GET /job/{id}/metrics", s.handleMetrics)
+	mux.HandleFunc("GET /job/{id}/metrics.json", s.handleMetricsJSON)
 	mux.HandleFunc("GET /job/{id}/profiler", s.handleProfiler)
 
 	// Live metrics endpoints, active once AttachMetrics has been called.

@@ -176,6 +176,30 @@ func (en *engine) gcCheckpoints() {
 	}
 }
 
+// cleanupCanceled deletes every checkpoint and outbox-log segment of a
+// canceled job: the job will never resume, so its recovery artifacts
+// are dead weight in the shared store. Deletions are counted in
+// FaultStats.CheckpointsDeleted; failures leave files behind, never
+// corrupt them. The trace is untouched — it stays readable up to the
+// last completed barrier.
+func (en *engine) cleanupCanceled() {
+	if en.cfg.CheckpointFS != nil {
+		if nums, err := en.listCheckpoints(); err == nil {
+			for _, n := range nums {
+				if en.cfg.CheckpointFS.Remove(en.checkpointPath(n)) == nil {
+					en.stats.Faults.CheckpointsDeleted++
+				}
+			}
+		}
+	}
+	if en.msglog != nil {
+		// gc drops every segment strictly older than its argument; no
+		// future superstep will ever be needed again.
+		en.msglog.gc(en.superstep + 1)
+		en.history = nil
+	}
+}
+
 // recoverFromCheckpoint charges one attempt against the recovery
 // budget, then restores the newest intact checkpoint (the whole-job
 // restart path).

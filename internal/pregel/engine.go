@@ -1,6 +1,7 @@
 package pregel
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime/debug"
@@ -234,6 +235,11 @@ type Config struct {
 	// halted vertices and find empty inboxes). The escape hatch exists
 	// so tests can prove the fast path changes no observable behavior.
 	NoPartitionSkip bool
+	// WorkerPool, if non-nil, is a global worker budget shared across
+	// jobs: each worker goroutine holds one slot for its superstep scan,
+	// so a session running many jobs concurrently bounds its total
+	// compute parallelism regardless of per-job NumWorkers.
+	WorkerPool *WorkerPool
 }
 
 type aggEntry struct {
@@ -285,8 +291,21 @@ func (j *Job) Config() Config { return j.cfg }
 // Stats.Runtime is measured monotonically from here, so it covers
 // partitioning, every superstep and any checkpoint recovery.
 func (j *Job) Run() (*Stats, error) {
+	return j.RunContext(context.Background())
+}
+
+// RunContext executes the job under a context. Cancelling the context
+// interrupts the job mid-superstep: workers observe the cancellation
+// within a bounded number of vertices, the engine shuts down at the
+// next barrier boundary without folding the aborted superstep, and the
+// job's checkpoints and outbox logs are garbage-collected (a canceled
+// job never resumes). The returned error wraps ctx.Err(), and — unlike
+// other failures — the partial Stats up to the last completed barrier
+// are returned alongside it.
+func (j *Job) RunContext(ctx context.Context) (*Stats, error) {
 	start := time.Now()
 	en := newEngine(j)
+	en.ctx = ctx
 	return en.run(start)
 }
 
@@ -397,6 +416,10 @@ type engine struct {
 	// anom evaluates the anomaly detectors over the folded superstep
 	// telemetry (nil when detection or telemetry is disabled).
 	anom *anomaly.Engine
+
+	// ctx carries the job's cancellation signal; never nil after run
+	// starts (Background for Job.Run).
+	ctx context.Context
 }
 
 func newEngine(j *Job) *engine {
@@ -491,6 +514,9 @@ func (en *engine) cloneAggSnapshot() map[string]Value {
 }
 
 func (en *engine) run(start time.Time) (*Stats, error) {
+	if en.ctx == nil {
+		en.ctx = context.Background()
+	}
 	listener := en.cfg.Listener
 	nv, ne := en.totals()
 	if listener != nil {
@@ -499,6 +525,14 @@ func (en *engine) run(start time.Time) (*Stats, error) {
 	finish := func(err error) (*Stats, error) {
 		en.stats.Supersteps = en.superstep
 		en.stats.Runtime = time.Since(start)
+		// A canceled job never resumes, so its recovery artifacts —
+		// checkpoints and outbox-log segments — are dead weight; GC them
+		// before listeners observe the stats, so CheckpointsDeleted
+		// reflects the cleanup.
+		canceled := errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+		if canceled {
+			en.cleanupCanceled()
+		}
 		// Fold in the checkpoint file system's resilience counters
 		// before listeners observe the stats; Graft's listener adds the
 		// trace file system's own on top.
@@ -509,24 +543,31 @@ func (en *engine) run(start time.Time) (*Stats, error) {
 			listener.JobFinished(&en.stats, err)
 		}
 		if err != nil {
+			if canceled {
+				// Cancellation is barrier-consistent: everything up to the
+				// last completed superstep is valid, so — unlike a compute
+				// failure — the partial stats are returned with the error.
+				return &en.stats, err
+			}
 			return nil, err
 		}
 		return &en.stats, nil
 	}
 
+	if err := en.cfg.Validate(); err != nil {
+		return finish(err)
+	}
+
 	if en.cfg.Recovery == RecoveryLog {
-		if en.cfg.MessagePlane != PlaneLanes {
-			return finish(fmt.Errorf("pregel: RecoveryLog requires the lane message plane"))
-		}
-		if en.cfg.MsgLogFS == nil {
-			return finish(fmt.Errorf("pregel: RecoveryLog requires MsgLogFS"))
-		}
 		en.msglog = newMsgLog(en.cfg.MsgLogFS, en.cfg.MsgLogPrefix, en.msgLogSegmentSize(), len(en.parts))
 		en.history = make(map[int]stepSnapshot)
 	}
 
 	for {
 		stepStart := time.Now()
+		if err := en.ctx.Err(); err != nil {
+			return finish(fmt.Errorf("pregel: job canceled before superstep %d: %w", en.superstep, err))
+		}
 		if en.cfg.MaxSupersteps > 0 && en.superstep >= en.cfg.MaxSupersteps {
 			en.stats.Reason = ReasonMaxSupersteps
 			return finish(nil)
@@ -596,6 +637,16 @@ func (en *engine) run(start time.Time) (*Stats, error) {
 			wg.Add(1)
 			go func(w int) {
 				defer wg.Done()
+				// Under a session-wide budget each worker holds one pool
+				// slot for its scan; a slot is always released at the
+				// barrier, so the gate serializes but cannot deadlock.
+				if pool := en.cfg.WorkerPool; pool != nil {
+					if err := pool.acquire(en.ctx); err != nil {
+						errs[w] = fmt.Errorf("pregel: worker %d canceled awaiting pool slot: %w", w, err)
+						return
+					}
+					defer pool.release()
+				}
 				results[w], errs[w] = en.runWorker(w, nv, ne)
 			}(w)
 		}
@@ -834,6 +885,15 @@ func (en *engine) runWorker(w int, nv, ne int64) (workerResult, error) {
 	}
 	ctx := en.newWorkerCtx(w, nv, ne)
 	for i := 0; i < len(part.ids); i++ {
+		// Poll for cancellation every 64 vertices so a Job.Cancel lands
+		// mid-superstep instead of after a full partition scan; the
+		// coordinator still drives every worker to the barrier, so the
+		// shutdown stays barrier-consistent.
+		if i&63 == 0 {
+			if err := en.ctx.Err(); err != nil {
+				return res, fmt.Errorf("pregel: worker %d canceled in superstep %d: %w", w, en.superstep, err)
+			}
+		}
 		v, ok := part.verts[part.ids[i]]
 		if !ok {
 			continue

@@ -1,0 +1,57 @@
+package pregel
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrInvalidConfig is the sentinel every Config validation failure
+// wraps, so callers can branch with errors.Is while the message still
+// names the offending field.
+var ErrInvalidConfig = errors.New("pregel: invalid config")
+
+// invalidf builds one validation failure wrapping ErrInvalidConfig.
+func invalidf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrInvalidConfig, fmt.Sprintf(format, args...))
+}
+
+// Validate rejects configurations that are contradictory or would fail
+// at runtime in a harder-to-diagnose way. Zero values are never
+// rejected — they mean "use the default" — but explicitly negative
+// capacities and impossible mode combinations return a typed error
+// wrapping ErrInvalidConfig instead of being silently coerced.
+func (c *Config) Validate() error {
+	if c.MaxSupersteps < 0 {
+		return invalidf("MaxSupersteps = %d, must be >= 0 (0 means unlimited)", c.MaxSupersteps)
+	}
+	if c.MsgFlushBatch < 0 {
+		return invalidf("MsgFlushBatch = %d, must be >= 0 (0 means the default)", c.MsgFlushBatch)
+	}
+	if c.MsgLogSegmentSize < 0 {
+		return invalidf("MsgLogSegmentSize = %d, must be >= 0 (0 means the default)", c.MsgLogSegmentSize)
+	}
+	if c.MaxRecoveries < 0 {
+		return invalidf("MaxRecoveries = %d, must be >= 0 (0 means the default)", c.MaxRecoveries)
+	}
+	if c.CheckpointEvery < 0 {
+		return invalidf("CheckpointEvery = %d, must be >= 0 (0 disables checkpointing)", c.CheckpointEvery)
+	}
+	if c.RebalanceSkew < 0 {
+		return invalidf("RebalanceSkew = %g, must be >= 0 (0 disables rebalancing)", c.RebalanceSkew)
+	}
+	if c.RebalanceMaxMoves < 0 {
+		return invalidf("RebalanceMaxMoves = %d, must be >= 0 (0 means the default)", c.RebalanceMaxMoves)
+	}
+	if c.CheckpointEvery > 0 && c.CheckpointFS == nil {
+		return invalidf("CheckpointEvery = %d without CheckpointFS", c.CheckpointEvery)
+	}
+	if c.Recovery == RecoveryLog {
+		if c.MessagePlane != PlaneLanes {
+			return invalidf("Recovery = log requires the lane message plane (MessagePlane = PlaneLanes)")
+		}
+		if c.MsgLogFS == nil {
+			return invalidf("Recovery = log requires MsgLogFS")
+		}
+	}
+	return nil
+}

@@ -1,0 +1,73 @@
+package pregel
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestValidateRejectsNegatives(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"MaxSupersteps", Config{MaxSupersteps: -1}},
+		{"MsgFlushBatch", Config{MsgFlushBatch: -5}},
+		{"MsgLogSegmentSize", Config{MsgLogSegmentSize: -1}},
+		{"MaxRecoveries", Config{MaxRecoveries: -2}},
+		{"CheckpointEvery", Config{CheckpointEvery: -3}},
+		{"RebalanceSkew", Config{RebalanceSkew: -0.5}},
+		{"RebalanceMaxMoves", Config{RebalanceMaxMoves: -1}},
+	}
+	for _, tc := range cases {
+		err := tc.cfg.Validate()
+		if err == nil {
+			t.Errorf("%s: negative value accepted", tc.name)
+			continue
+		}
+		if !errors.Is(err, ErrInvalidConfig) {
+			t.Errorf("%s: error %v does not wrap ErrInvalidConfig", tc.name, err)
+		}
+	}
+}
+
+func TestValidateRejectsContradictions(t *testing.T) {
+	// RecoveryLog needs the lane plane and an outbox-log file system.
+	cfg := Config{Recovery: RecoveryLog, MessagePlane: PlaneMutex}
+	if err := cfg.Validate(); !errors.Is(err, ErrInvalidConfig) {
+		t.Errorf("RecoveryLog+PlaneMutex: err = %v", err)
+	}
+	cfg = Config{Recovery: RecoveryLog, MessagePlane: PlaneLanes}
+	if err := cfg.Validate(); !errors.Is(err, ErrInvalidConfig) {
+		t.Errorf("RecoveryLog without MsgLogFS: err = %v", err)
+	}
+	cfg = Config{CheckpointEvery: 2}
+	if err := cfg.Validate(); !errors.Is(err, ErrInvalidConfig) {
+		t.Errorf("CheckpointEvery without CheckpointFS: err = %v", err)
+	}
+}
+
+func TestValidateAcceptsZeroValues(t *testing.T) {
+	var cfg Config
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("zero config rejected: %v", err)
+	}
+}
+
+// TestInvalidConfigSurfacesThroughRun pins that a Job built on a
+// contradictory config fails with the typed error (and still fires the
+// listener's JobFinished, like any other job failure).
+func TestInvalidConfigSurfacesThroughRun(t *testing.T) {
+	g := NewGraph()
+	g.AddVertex(1, nil)
+	job := NewJob(g, ComputeFunc(func(ctx Context, v *Vertex, msgs []Value) error {
+		v.VoteToHalt()
+		return nil
+	}), Config{NumWorkers: 1, MaxSupersteps: -1})
+	stats, err := job.Run()
+	if !errors.Is(err, ErrInvalidConfig) {
+		t.Fatalf("err = %v, want ErrInvalidConfig", err)
+	}
+	if stats != nil {
+		t.Errorf("stats = %+v, want nil on config error", stats)
+	}
+}

@@ -17,7 +17,7 @@ import (
 
 // gcTraceDB builds a buggy-GC trace with a handful of captures, shared
 // by the codegen tests.
-func gcTraceDB(t *testing.T) (*trace.DB, *algorithms.Algorithm) {
+func gcTraceDB(t *testing.T) (trace.View, *algorithms.Algorithm) {
 	t.Helper()
 	alg := algorithms.NewBuggyGraphColoring(42)
 	g := graphgen.RegularBipartite(40, 3)

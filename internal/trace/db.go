@@ -292,12 +292,17 @@ type PairViolation struct {
 // captured vertices (a, b) where a has an edge to b and both were
 // captured in the same superstep, returning the violating pairs. Use
 // CaptureAllActive (or by-ID with neighbors) to make the check
-// complete over the region of interest.
-func (db *DB) CheckAdjacentPairs(ok func(a, b *VertexCapture) bool) []PairViolation {
+// complete over the region of interest. It works over any View — the
+// lazy Reader included, which loads each superstep's segments once per
+// pass.
+func CheckAdjacentPairs(v View, ok func(a, b *VertexCapture) bool) []PairViolation {
 	var out []PairViolation
-	for _, s := range db.supersteps {
-		m := db.captures[s]
-		for _, a := range db.CapturesAt(s) {
+	for _, s := range v.Supersteps() {
+		m := make(map[pregel.VertexID]*VertexCapture)
+		for _, c := range v.CapturesAt(s) {
+			m[c.ID] = c
+		}
+		for _, a := range v.CapturesAt(s) {
 			for _, e := range a.Edges {
 				if e.Target <= a.ID {
 					continue // each undirected pair once
@@ -313,6 +318,12 @@ func (db *DB) CheckAdjacentPairs(ok func(a, b *VertexCapture) bool) []PairViolat
 		}
 	}
 	return out
+}
+
+// CheckAdjacentPairs is the View-based CheckAdjacentPairs bound to the
+// eager DB, kept for compatibility.
+func (db *DB) CheckAdjacentPairs(ok func(a, b *VertexCapture) bool) []PairViolation {
+	return CheckAdjacentPairs(db, ok)
 }
 
 // Query selects captures for the Tabular view's search box. Zero

@@ -3,6 +3,7 @@ package trace
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -48,6 +49,12 @@ const (
 	DefaultBatchSize     = 64
 )
 
+// ErrInvalidOption is the sentinel wrapped by NewSink failures on
+// contradictory sink options (negative capacities and sizes), so
+// callers can branch with errors.Is while the message names the
+// offending option. A zero value always means "use the default".
+var ErrInvalidOption = errors.New("trace: invalid sink option")
+
 type sinkOptions struct {
 	segmentSize int
 	queueCap    int
@@ -56,39 +63,56 @@ type sinkOptions struct {
 	synchronous bool
 }
 
+// validate rejects explicitly negative capacities — historically they
+// were silently coerced to the defaults, which hid typos like a
+// miscomputed queue size.
+func (o *sinkOptions) validate() error {
+	if o.segmentSize < 0 {
+		return fmt.Errorf("%w: segment size = %d, must be >= 0 (0 means the default)", ErrInvalidOption, o.segmentSize)
+	}
+	if o.queueCap < 0 {
+		return fmt.Errorf("%w: queue capacity = %d, must be >= 0 (0 means the default)", ErrInvalidOption, o.queueCap)
+	}
+	if o.batchSize < 0 {
+		return fmt.Errorf("%w: batch size = %d, must be >= 0 (0 means the default)", ErrInvalidOption, o.batchSize)
+	}
+	if o.segmentSize == 0 {
+		o.segmentSize = DefaultSegmentSize
+	}
+	if o.queueCap == 0 {
+		o.queueCap = DefaultQueueCapacity
+	}
+	if o.batchSize == 0 {
+		o.batchSize = DefaultBatchSize
+	}
+	return nil
+}
+
 // Option configures a Sink created by Store.NewSink.
 type Option func(*sinkOptions)
 
 // WithSegmentSize sets the target segment file size in bytes; a
 // segment seals once it passes this threshold (and at every barrier).
+// 0 keeps the default; negative values make NewSink fail with
+// ErrInvalidOption.
 func WithSegmentSize(bytes int) Option {
-	return func(o *sinkOptions) {
-		if bytes > 0 {
-			o.segmentSize = bytes
-		}
-	}
+	return func(o *sinkOptions) { o.segmentSize = bytes }
 }
 
 // WithQueueCapacity sets each lane's bounded record-queue capacity,
-// in records.
+// in records. 0 keeps the default; negative values make NewSink fail
+// with ErrInvalidOption.
 func WithQueueCapacity(n int) Option {
-	return func(o *sinkOptions) {
-		if n > 0 {
-			o.queueCap = n
-		}
-	}
+	return func(o *sinkOptions) { o.queueCap = n }
 }
 
 // WithBatchSize sets how many records a lane accumulates before
 // handing them to its drainer in one queue message. Batching is what
 // keeps the per-record pipeline cost to an append: one queue operation
-// then pays for a whole batch.
+// then pays for a whole batch. 0 keeps the default; negative values
+// make NewSink fail with ErrInvalidOption.
 func WithBatchSize(n int) Option {
-	return func(o *sinkOptions) {
-		if n > 0 {
-			o.batchSize = n
-		}
-	}
+	return func(o *sinkOptions) { o.batchSize = n }
 }
 
 // WithBackpressure selects what a full queue does: Block (default) or
@@ -157,14 +181,12 @@ func (s *Store) NewSink(meta JobMeta, opts ...Option) (Sink, error) {
 	if meta.NumWorkers <= 0 {
 		return nil, fmt.Errorf("trace: job %q has %d workers", meta.JobID, meta.NumWorkers)
 	}
-	opt := sinkOptions{
-		segmentSize: DefaultSegmentSize,
-		queueCap:    DefaultQueueCapacity,
-		batchSize:   DefaultBatchSize,
-		policy:      Block,
-	}
+	opt := sinkOptions{policy: Block}
 	for _, o := range opts {
 		o(&opt)
+	}
+	if err := opt.validate(); err != nil {
+		return nil, err
 	}
 	meta.Format = FormatSegments
 	dir := s.jobDir(meta.JobID)

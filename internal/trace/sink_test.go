@@ -465,3 +465,26 @@ func TestSinkValidation(t *testing.T) {
 		t.Error("zero workers accepted")
 	}
 }
+
+// TestNewSinkRejectsNegativeOptions pins the typed validation: an
+// explicitly negative capacity fails the sink instead of being
+// silently coerced to the default.
+func TestNewSinkRejectsNegativeOptions(t *testing.T) {
+	store := NewStore(dfs.NewMemFS(), "t")
+	meta := JobMeta{JobID: "neg", Algorithm: "gc", NumWorkers: 1}
+	for name, opt := range map[string]Option{
+		"segment size":   WithSegmentSize(-1),
+		"queue capacity": WithQueueCapacity(-8),
+		"batch size":     WithBatchSize(-2),
+	} {
+		if _, err := store.NewSink(meta, opt); !errors.Is(err, ErrInvalidOption) {
+			t.Errorf("%s: err = %v, want ErrInvalidOption", name, err)
+		}
+	}
+	// Zero still means "default".
+	sink, err := store.NewSink(meta, WithSegmentSize(0), WithQueueCapacity(0), WithBatchSize(0))
+	if err != nil {
+		t.Fatalf("zero options rejected: %v", err)
+	}
+	_ = sink.CloseFiles()
+}

@@ -33,7 +33,7 @@ func tracedRecoveryRun(t *testing.T, g *Graph, alg *algorithms.Algorithm, engine
 	if err != nil {
 		t.Fatal(err)
 	}
-	db, err := store.LoadDB("job")
+	db, err := store.OpenReader("job")
 	if err != nil {
 		t.Fatal(err)
 	}
