@@ -15,6 +15,7 @@
 //	graft-bench -dfs -reps 5 -out BENCH_dfs.json
 //	graft-bench -recovery -scale 0.0002 -reps 5 -out BENCH_recovery.json
 //	graft-bench -serve -scale 0.0002 -reps 5 -out BENCH_serve.json
+//	graft-bench -subgraph -scale 0.0002 -reps 5 -out BENCH_subgraph.json
 package main
 
 import (
@@ -40,6 +41,7 @@ func main() {
 	dfsBench := flag.Bool("dfs", false, "compare the pipelined streaming DFS data path against the seed serial path")
 	recoveryBench := flag.Bool("recovery", false, "compare log-based confined recovery against full checkpoint restart")
 	serveBench := flag.Bool("serve", false, "compare N debugged jobs run back to back against the same jobs sharing a concurrent session")
+	subgraphBench := flag.Bool("subgraph", false, "compare subgraph-centric compute against the vertex-centric baseline on traversal workloads")
 	out := flag.String("out", "", "output file for the -metrics / -capture / -engine report (default BENCH_<kind>.json)")
 	faultP := flag.Float64("fault-p", 0.3, "per-operation fault probability for -chaos")
 	chaosRecovery := flag.String("chaos-recovery", "log", "how the -chaos crash recovers: log (confined replay) or checkpoint (full restart)")
@@ -343,6 +345,44 @@ func main() {
 				fmt.Println("serve check: OK (concurrent session >= 1.3x aggregate throughput; digests unchanged)")
 			} else {
 				fmt.Println("serve check deviations:")
+				for _, p := range problems {
+					fmt.Println("  -", p)
+				}
+				os.Exit(1)
+			}
+		}
+	case *subgraphBench:
+		workloads := harness.SubgraphWorkloads(*scale, *seed, *workers)
+		if *out == "" {
+			*out = "BENCH_subgraph.json"
+		}
+		fmt.Printf("Compute mode: vertex-centric vs subgraph-centric on traversal workloads (scale %g, %d reps, %d workers)\n",
+			*scale, *reps, *workers)
+		ss, err := harness.RunSubgraphBench(workloads, harness.Options{
+			Reps: *reps, Seed: *seed, Progress: os.Stderr,
+		})
+		if err != nil {
+			log.Fatalf("graft-bench: %v", err)
+		}
+		fmt.Println()
+		harness.PrintSubgraphBench(os.Stdout, ss)
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatalf("graft-bench: %v", err)
+		}
+		if err := harness.WriteSubgraphBenchJSON(f, ss); err != nil {
+			log.Fatalf("graft-bench: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatalf("graft-bench: %v", err)
+		}
+		fmt.Printf("\nwrote %s\n", *out)
+		if *check {
+			problems := harness.CheckSubgraphBench(ss)
+			if len(problems) == 0 {
+				fmt.Println("subgraph check: OK (digests match; subgraph mode collapses supersteps and wall clock; CC-bp <= 10%)")
+			} else {
+				fmt.Println("subgraph check deviations:")
 				for _, p := range problems {
 					fmt.Println("  -", p)
 				}

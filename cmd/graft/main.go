@@ -130,6 +130,7 @@ func buildDebugConfig(preset string, seed int64) (*core.DebugConfig, error) {
 func cmdRun(args []string) error {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	alg := fs.String("alg", "cc", "algorithm to run")
+	mode := fs.String("mode", "vertex", "compute mode: vertex (classic, per-vertex) or subgraph (per connected component of a partition)")
 	dataset := fs.String("dataset", "soc-Epinions", "dataset name (Table 1/2) or adjacency-list file")
 	scale := fs.Float64("scale", 0.01, "dataset scale factor against the paper sizes")
 	seed := fs.Int64("seed", 42, "random seed")
@@ -177,6 +178,18 @@ func cmdRun(args []string) error {
 	if err != nil {
 		return err
 	}
+	var computeMode pregel.ComputeMode
+	switch *mode {
+	case "vertex":
+	case "subgraph":
+		if !a.SupportsSubgraph() {
+			return fmt.Errorf("algorithm %q has no subgraph-mode port (available in -mode subgraph: %s)",
+				a.Name, strings.Join(algorithms.SubgraphNames(), ", "))
+		}
+		computeMode = pregel.ModeSubgraph
+	default:
+		return fmt.Errorf("unknown -mode %q (vertex, subgraph)", *mode)
+	}
 	g, err := buildGraph(*dataset, *scale, *seed)
 	if err != nil {
 		return err
@@ -193,6 +206,7 @@ func cmdRun(args []string) error {
 	}
 	engCfg := pregel.Config{
 		NumWorkers:        *workers,
+		ComputeMode:       computeMode,
 		Combiner:          a.Combiner,
 		Master:            a.Master,
 		MaxSupersteps:     a.MaxSupersteps,
@@ -297,6 +311,7 @@ func cmdRun(args []string) error {
 		return fmt.Errorf("-recovery=%s requires -checkpoint-every (confined replay rolls the failed partitions back to a checkpoint)", *recovery)
 	}
 	comp := a.Compute
+	scomp := a.Subgraph
 
 	traceOpts := []trace.Option{
 		trace.WithSegmentSize(*segmentSize),
@@ -321,17 +336,26 @@ func cmdRun(args []string) error {
 		if err != nil {
 			return err
 		}
+		metaMode := ""
+		if computeMode == pregel.ModeSubgraph {
+			metaMode = "subgraph"
+		}
 		session, err = core.Attach(store, core.Options{
 			JobID:       id,
 			Algorithm:   a.Name,
-			Description: fmt.Sprintf("dataset=%s scale=%g debug=%s", *dataset, *scale, *debug),
+			Description: fmt.Sprintf("dataset=%s scale=%g debug=%s mode=%s", *dataset, *scale, *debug, *mode),
 			NumWorkers:  *workers,
 			Trace:       traceOpts,
+			ComputeMode: metaMode,
 		}, g, *dc)
 		if err != nil {
 			return err
 		}
-		comp = session.Instrument(comp)
+		if computeMode == pregel.ModeSubgraph {
+			scomp = session.InstrumentSubgraph(scomp)
+		} else {
+			comp = session.Instrument(comp)
+		}
 		engCfg.Master = session.InstrumentMaster(engCfg.Master)
 		engCfg.Listener = session
 		if reg != nil {
@@ -343,7 +367,12 @@ func cmdRun(args []string) error {
 		engCfg.Listener = reg
 	}
 
-	job := pregel.NewJob(g, comp, engCfg)
+	var job *pregel.Job
+	if computeMode == pregel.ModeSubgraph {
+		job = pregel.NewSubgraphJob(g, scomp, engCfg)
+	} else {
+		job = pregel.NewJob(g, comp, engCfg)
+	}
 	for _, spec := range a.Aggregators {
 		job.RegisterAggregator(spec.Name, spec.Agg, spec.Persistent)
 	}
@@ -369,6 +398,15 @@ func cmdRun(args []string) error {
 		return nil // the failure is the expected outcome of exception scenarios
 	}
 	fmt.Printf("finished: %s\n", stats.String())
+	if computeMode == pregel.ModeSubgraph {
+		var subs, iters int64
+		for _, ss := range stats.PerSuperstep {
+			subs += ss.SubgraphsComputed
+			iters += ss.InternalIterations
+		}
+		fmt.Printf("subgraph mode: %d subgraph computations, %d internal iterations across %d supersteps\n",
+			subs, iters, stats.Supersteps)
+	}
 	if compute, barrier, capture := stats.PhaseTotals(); compute > 0 {
 		fmt.Printf("phases: compute=%v barrier=%v capture=%v max-compute-skew=%.2f\n",
 			compute.Round(time.Millisecond), barrier.Round(time.Millisecond),
@@ -528,6 +566,10 @@ func cmdShow(args []string) error {
 				fmt.Printf("    EXCEPTION: %s\n", strings.Split(c.Exception.Message, "\n")[0])
 			}
 		}
+		for _, sc := range db.SubgraphsAt(s) {
+			fmt.Printf("  subgraph %-6d members=%d iters=%d sent=%d halted=%v digest=%.12s\n",
+				sc.ID, len(sc.Members), sc.Iterations, sc.MessagesSent, sc.HaltedAfter, sc.Digest)
+		}
 	}
 	return nil
 }
@@ -632,8 +674,16 @@ func cmdRepro(args []string) error {
 		if *vertex < 0 {
 			return fmt.Errorf("repro: -vertex required (or -master)")
 		}
-		spec.ComputationExpr = *comp
-		code, err = repro.GenerateVertexTest(db, *superstep, pregel.VertexID(*vertex), spec)
+		if db.JobMeta().ComputeMode == "subgraph" {
+			// The trace manifest says the job ran subgraph-centric, so the
+			// matching harness reproduces the whole component containing
+			// the vertex, member by member.
+			spec.SubgraphExpr = *comp
+			code, err = repro.GenerateSubgraphTest(db, *superstep, pregel.VertexID(*vertex), spec)
+		} else {
+			spec.ComputationExpr = *comp
+			code, err = repro.GenerateVertexTest(db, *superstep, pregel.VertexID(*vertex), spec)
+		}
 	}
 	if err != nil {
 		return err

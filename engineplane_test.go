@@ -194,6 +194,62 @@ func TestRebalanceDigestDeterminism(t *testing.T) {
 	}
 }
 
+// TestSubgraphRebalanceDigestDeterminism asserts that subgraph mode
+// and the skew rebalancer compose: migrations change which partition
+// owns a vertex, so subgraph membership must be recomputed afterwards
+// — stale components would compute migrated vertices in the wrong
+// (or no) subgraph and corrupt the fixpoint. Per-superstep
+// trajectories legitimately depend on placement in subgraph mode
+// (components collapse within a partition), so the determinism anchor
+// is the final vertex-value digest, which must match vertex mode
+// exactly, with and without migrations.
+func TestSubgraphRebalanceDigestDeterminism(t *testing.T) {
+	run := func(mode pregel.ComputeMode, rebalance bool) (string, *Stats) {
+		cfg := EngineConfig{NumWorkers: 4, MessagePlane: pregel.PlaneLanes, ComputeMode: mode}
+		if rebalance {
+			cfg.RebalanceSkew = 1.3
+			cfg.RebalanceMaxMoves = 64
+		}
+		g := broomGraph(300, 40)
+		_, stats := tracedPlaneRun(t, g, algorithms.NewConnectedComponents(), false, cfg, -1)
+		return g.ValuesDigest(), stats
+	}
+	vertexDigest, vertexStats := run(pregel.ModeVertex, false)
+	offDigest, offStats := run(pregel.ModeSubgraph, false)
+	onDigest, onStats := run(pregel.ModeSubgraph, true)
+
+	if offDigest != vertexDigest {
+		t.Fatalf("subgraph-mode values diverged from vertex mode:\nvertex:   %s\nsubgraph: %s",
+			vertexDigest, offDigest)
+	}
+	if onDigest != vertexDigest {
+		t.Fatalf("subgraph-mode values diverged once the rebalancer migrated:\nvertex:    %s\nrebalanced: %s",
+			vertexDigest, onDigest)
+	}
+	if offStats.Supersteps >= vertexStats.Supersteps {
+		t.Errorf("subgraph mode did not collapse supersteps: %d vs vertex %d",
+			offStats.Supersteps, vertexStats.Supersteps)
+	}
+	if onStats.Rebalances == 0 || onStats.VerticesMigrated == 0 {
+		t.Fatalf("rebalancer never triggered in subgraph mode (skew too low?): %+v", onStats)
+	}
+	// Membership must have been recomputed, not dropped: supersteps at
+	// and after the first migration still dispatch whole components.
+	firstMigration := -1
+	for _, ss := range onStats.PerSuperstep {
+		if firstMigration < 0 && len(ss.Migrations) > 0 {
+			firstMigration = ss.Superstep
+		}
+		if firstMigration >= 0 && ss.Superstep > firstMigration && ss.VerticesProcessed > 0 && ss.SubgraphsComputed == 0 {
+			t.Errorf("superstep %d after migration at %d processed %d vertices but dispatched no subgraphs",
+				ss.Superstep, firstMigration, ss.VerticesProcessed)
+		}
+	}
+	if firstMigration < 0 {
+		t.Fatal("stats recorded rebalances but no migration events")
+	}
+}
+
 // TestRebalanceDigestDeterminismUnderChaos layers a crash and
 // checkpoint recovery on top: the restored reassignment table must
 // route exactly like the pre-crash one.

@@ -59,6 +59,22 @@ type (
 	ComputeFunc = pregel.ComputeFunc
 	// Context is the per-superstep vertex environment.
 	Context = pregel.Context
+	// ComputeMode selects the unit of computation the engine dispatches
+	// per superstep (EngineConfig.ComputeMode): ModeVertex or
+	// ModeSubgraph.
+	ComputeMode = pregel.ComputeMode
+	// SubgraphComputation is the partition-level program of
+	// ModeSubgraph: a sequential algorithm over one connected component
+	// of a partition per superstep.
+	SubgraphComputation = pregel.SubgraphComputation
+	// SubgraphFunc adapts a function to SubgraphComputation.
+	SubgraphFunc = pregel.SubgraphFunc
+	// SubgraphContext is the subgraph program's per-superstep
+	// environment, mirroring Context's send/aggregate/halt surface.
+	SubgraphContext = pregel.SubgraphContext
+	// Subgraph is one connected component of a partition: the unit
+	// ComputeSubgraph runs over.
+	Subgraph = pregel.Subgraph
 	// MasterComputation is the master program (master.compute).
 	MasterComputation = pregel.MasterComputation
 	// MasterContext is the master's environment.
@@ -155,6 +171,22 @@ type (
 	// primary keeps failing.
 	FallbackFS = faults.FallbackFS
 )
+
+// Compute modes for EngineConfig.ComputeMode.
+const (
+	// ModeVertex is the classic vertex-centric model and the default:
+	// Compute runs once per active vertex per superstep.
+	ModeVertex = pregel.ModeVertex
+	// ModeSubgraph is the subgraph-centric model: ComputeSubgraph runs
+	// once per active connected component of a partition per superstep,
+	// collapsing traversal workloads to O(partition diameter) supersteps.
+	ModeSubgraph = pregel.ModeSubgraph
+)
+
+// NewDetachedSubgraph builds a free-standing subgraph from member
+// vertices and their incoming messages — what generated subgraph
+// reproduction tests use to rebuild a captured component.
+var NewDetachedSubgraph = pregel.NewDetachedSubgraph
 
 // Message-plane modes for EngineConfig.MessagePlane.
 const (
@@ -314,6 +346,11 @@ type RunOptions struct {
 	Description string
 	// Engine configures the BSP engine (workers, master, combiner...).
 	Engine EngineConfig
+	// Subgraph is the subgraph-centric program, required when
+	// Engine.ComputeMode is ModeSubgraph (RunAlgorithm fills it from
+	// the algorithm's port). The Computation argument is ignored in
+	// that mode.
+	Subgraph SubgraphComputation
 	// Debug, when non-nil, attaches Graft with this DebugConfig.
 	Debug *DebugConfig
 	// Store receives trace files; required when Debug is set.
@@ -360,4 +397,17 @@ func Run(g *Graph, comp Computation, opts RunOptions) (*RunResult, error) {
 func RunAlgorithm(g *Graph, alg *Algorithm, opts RunOptions) (*RunResult, error) {
 	mergeAlgorithm(&opts, alg)
 	return Run(g, alg.Compute, opts)
+}
+
+// RunSubgraph runs a subgraph-centric program over g: Run with
+// Engine.ComputeMode forced to ModeSubgraph. Debugging, tracing and
+// reproduction work exactly as in vertex mode, at component
+// granularity.
+func RunSubgraph(g *Graph, scomp SubgraphComputation, opts RunOptions) (*RunResult, error) {
+	opts.Engine.ComputeMode = pregel.ModeSubgraph
+	opts.Subgraph = scomp
+	if err := validateRunOptions(&opts); err != nil {
+		return nil, err
+	}
+	return runJob(context.Background(), g, nil, opts, nil)
 }

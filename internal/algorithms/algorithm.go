@@ -30,8 +30,12 @@ type AggregatorSpec struct {
 // program: the computation, its optional master and combiner, the
 // aggregators to register, and a safety superstep bound.
 type Algorithm struct {
-	Name        string
-	Compute     pregel.Computation
+	Name    string
+	Compute pregel.Computation
+	// Subgraph, if non-nil, is the algorithm's subgraph-centric port:
+	// selecting pregel.ModeSubgraph runs it instead of Compute, over
+	// each connected component of a partition per superstep.
+	Subgraph    pregel.SubgraphComputation
 	Master      pregel.MasterComputation
 	Combiner    pregel.Combiner
 	Aggregators []AggregatorSpec
@@ -39,6 +43,10 @@ type Algorithm struct {
 	// algorithm always converges and needs none.
 	MaxSupersteps int
 }
+
+// SupportsSubgraph reports whether the algorithm has a subgraph-mode
+// port.
+func (a *Algorithm) SupportsSubgraph() bool { return a.Subgraph != nil }
 
 // Configure fills an engine config with the algorithm's master and
 // combiner and returns a job with its aggregators registered. Fields
@@ -54,7 +62,15 @@ func (a *Algorithm) Configure(g *pregel.Graph, cfg pregel.Config) *pregel.Job {
 	if cfg.MaxSupersteps == 0 {
 		cfg.MaxSupersteps = a.MaxSupersteps
 	}
-	job := pregel.NewJob(g, a.Compute, cfg)
+	var job *pregel.Job
+	if cfg.ComputeMode == pregel.ModeSubgraph {
+		// A nil a.Subgraph is rejected by the engine with a typed
+		// ErrInvalidConfig; callers wanting a friendlier message check
+		// SupportsSubgraph first.
+		job = pregel.NewSubgraphJob(g, a.Subgraph, cfg)
+	} else {
+		job = pregel.NewJob(g, a.Compute, cfg)
+	}
 	for _, spec := range a.Aggregators {
 		job.RegisterAggregator(spec.Name, spec.Agg, spec.Persistent)
 	}

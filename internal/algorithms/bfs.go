@@ -1,0 +1,49 @@
+package algorithms
+
+import (
+	"graft/internal/pregel"
+)
+
+// NewBFS returns breadth-first search from source over directed
+// edges: every vertex converges to its hop distance from source as a
+// LongValue, with -1 for unreachable vertices. It is the canonical
+// one-hop-per-superstep traversal that subgraph mode collapses.
+func NewBFS(source pregel.VertexID) *Algorithm {
+	return &Algorithm{
+		Name:     "bfs",
+		Compute:  &bfs{source: source},
+		Combiner: pregel.MinLongCombiner,
+		Subgraph: &bfsSubgraph{source: source},
+	}
+}
+
+type bfs struct {
+	source pregel.VertexID
+}
+
+// Compute implements pregel.Computation.
+func (b *bfs) Compute(ctx pregel.Context, v *pregel.Vertex, msgs []pregel.Value) error {
+	if ctx.Superstep() == 0 {
+		if v.ID() == b.source {
+			v.SetValue(pregel.NewLong(0))
+			ctx.SendMessageToAllEdges(v, pregel.NewLong(1))
+		} else {
+			v.SetValue(pregel.NewLong(-1))
+		}
+		v.VoteToHalt()
+		return nil
+	}
+	cur := v.Value().(*pregel.LongValue).Get()
+	best := cur
+	for _, m := range msgs {
+		if d := m.(*pregel.LongValue).Get(); best < 0 || d < best {
+			best = d
+		}
+	}
+	if best != cur {
+		v.SetValue(pregel.NewLong(best))
+		ctx.SendMessageToAllEdges(v, pregel.NewLong(best+1))
+	}
+	v.VoteToHalt()
+	return nil
+}

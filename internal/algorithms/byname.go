@@ -1,10 +1,25 @@
 package algorithms
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // Names lists the algorithm names ByName accepts, in display order.
 func Names() []string {
-	return []string{"gc", "gc-buggy", "rw", "rw16", "mwm", "cc", "pagerank", "sssp", "lpa", "triangles", "kcore"}
+	return []string{"gc", "gc-buggy", "rw", "rw16", "mwm", "cc", "bfs", "pagerank", "sssp", "lpa", "triangles", "kcore"}
+}
+
+// SubgraphNames lists the algorithms with a subgraph-mode port
+// (`graft run -mode subgraph`), in display order.
+func SubgraphNames() []string {
+	var names []string
+	for _, name := range Names() {
+		if a, err := ByName(name, 0, 1); err == nil && a.SupportsSubgraph() {
+			names = append(names, name)
+		}
+	}
+	return names
 }
 
 // ByName builds a packaged algorithm from its short name — the shared
@@ -27,6 +42,8 @@ func ByName(name string, seed int64, supersteps int) (*Algorithm, error) {
 		return NewMaximumWeightMatching(supersteps * 100), nil
 	case "cc":
 		return NewConnectedComponents(), nil
+	case "bfs":
+		return NewBFS(0), nil
 	case "pagerank":
 		return NewPageRank(supersteps, 0.85), nil
 	case "sssp":
@@ -38,5 +55,5 @@ func ByName(name string, seed int64, supersteps int) (*Algorithm, error) {
 	case "kcore":
 		return NewKCore(3), nil
 	}
-	return nil, fmt.Errorf("unknown algorithm %q (%v)", name, Names())
+	return nil, fmt.Errorf("unknown algorithm %q (available: %s)", name, strings.Join(Names(), ", "))
 }

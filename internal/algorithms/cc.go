@@ -13,6 +13,7 @@ func NewConnectedComponents() *Algorithm {
 	return &Algorithm{
 		Name:     "cc",
 		Compute:  pregel.ComputeFunc(ccCompute),
+		Subgraph: pregel.SubgraphFunc(wccSubgraph),
 		Combiner: pregel.MinLongCombiner,
 	}
 }

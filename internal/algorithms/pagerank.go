@@ -19,6 +19,7 @@ func NewPageRank(iterations int, damping float64) *Algorithm {
 	return &Algorithm{
 		Name:     "pagerank",
 		Compute:  pr,
+		Subgraph: newPageRankSubgraph(iterations, damping),
 		Combiner: pregel.SumDoubleCombiner,
 		Aggregators: []AggregatorSpec{
 			{Name: "dangling", Agg: pregel.DoubleSumAggregator{}, Persistent: false},

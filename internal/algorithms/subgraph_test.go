@@ -1,0 +1,152 @@
+package algorithms
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"graft/internal/graphgen"
+	"graft/internal/pregel"
+)
+
+// symRandomGraph builds a seeded random symmetric graph over n
+// vertices with ~2n undirected edges, LongValue values.
+func symRandomGraph(seed int64, n int) *pregel.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := pregel.NewGraph()
+	for i := 0; i < n; i++ {
+		g.AddVertex(pregel.VertexID(i), pregel.NewLong(int64(i)))
+	}
+	for i := 0; i < 2*n; i++ {
+		a := pregel.VertexID(rng.Intn(n))
+		b := pregel.VertexID(rng.Intn(n))
+		if a == b {
+			continue
+		}
+		if err := g.AddUndirectedEdge(a, b, nil); err != nil {
+			panic(err)
+		}
+	}
+	g.SortAllEdges()
+	return g
+}
+
+// runBothModes runs alg over clones of g in vertex and subgraph mode
+// and returns the two stats plus the final-value digests.
+func runBothModes(t *testing.T, alg *Algorithm, g *pregel.Graph, workers int) (vs, ss *pregel.Stats, vd, sd string) {
+	t.Helper()
+	gv, gs := g.Clone(), g.Clone()
+	vs = runAlg(t, alg, gv, pregel.Config{NumWorkers: workers})
+	stats, err := alg.Run(gs, pregel.Config{NumWorkers: workers, ComputeMode: pregel.ModeSubgraph})
+	if err != nil {
+		t.Fatalf("%s subgraph mode: %v", alg.Name, err)
+	}
+	ss = stats
+	return vs, ss, gv.ValuesDigest(), gs.ValuesDigest()
+}
+
+func TestSubgraphWCCEquivalence(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		g := symRandomGraph(seed, 300)
+		vs, ss, vd, sd := runBothModes(t, NewConnectedComponents(), g, 4)
+		if vd != sd {
+			t.Fatalf("seed %d: value digest mismatch: vertex %s subgraph %s", seed, vd, sd)
+		}
+		if ss.Supersteps > vs.Supersteps {
+			t.Errorf("seed %d: subgraph mode took %d supersteps, vertex mode %d",
+				seed, ss.Supersteps, vs.Supersteps)
+		}
+	}
+}
+
+func TestSubgraphBFSEquivalence(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		g := symRandomGraph(seed+100, 300)
+		vs, ss, vd, sd := runBothModes(t, NewBFS(0), g, 4)
+		if vd != sd {
+			t.Fatalf("seed %d: value digest mismatch: vertex %s subgraph %s", seed, vd, sd)
+		}
+		if ss.Supersteps > vs.Supersteps {
+			t.Errorf("seed %d: subgraph mode took %d supersteps, vertex mode %d",
+				seed, ss.Supersteps, vs.Supersteps)
+		}
+	}
+}
+
+// The CC-bp scenario: subgraph mode must collapse the bipartite
+// graph's long label-propagation chains into a handful of supersteps.
+func TestSubgraphWCCCollapsesBipartiteSupersteps(t *testing.T) {
+	g := graphgen.RegularBipartite(400, 8)
+	vs, ss, vd, sd := runBothModes(t, NewConnectedComponents(), g, 4)
+	if vd != sd {
+		t.Fatalf("value digest mismatch: vertex %s subgraph %s", vd, sd)
+	}
+	if ss.Supersteps*10 > vs.Supersteps {
+		t.Errorf("subgraph mode took %d supersteps, want <= 10%% of vertex mode's %d",
+			ss.Supersteps, vs.Supersteps)
+	}
+	var subs, iters int64
+	for _, step := range ss.PerSuperstep {
+		subs += step.SubgraphsComputed
+		iters += step.InternalIterations
+	}
+	if subs == 0 || iters == 0 {
+		t.Errorf("subgraph telemetry empty: subgraphs=%d iterations=%d", subs, iters)
+	}
+}
+
+// Subgraph PageRank is block Jacobi: internal contributions refresh
+// every inner sweep, external ones only at the barrier. It shares the
+// vertex-mode fixpoint, so at convergence the two agree — but it gets
+// there in a fifth of the supersteps.
+func TestSubgraphPageRankApproximatesVertexFixpoint(t *testing.T) {
+	g := graphgen.WebGraph(400, 5, 7)
+	gv, gs := g.Clone(), g.Clone()
+	alg := NewPageRank(100, 0.85)
+	vstats := runAlg(t, alg, gv, pregel.Config{NumWorkers: 4})
+	sstats, err := alg.Run(gs, pregel.Config{NumWorkers: 4, ComputeMode: pregel.ModeSubgraph})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var l1, mass float64
+	gv.Each(func(v *pregel.Vertex) {
+		rv := v.Value().(*pregel.DoubleValue).Get()
+		rs := gs.Vertex(v.ID()).Value().(*pregel.DoubleValue).Get()
+		l1 += math.Abs(rv - rs)
+		mass += rs
+	})
+	if l1 > 0.05 {
+		t.Errorf("L1 distance to vertex-mode ranks = %g, want <= 0.05", l1)
+	}
+	if math.Abs(mass-1) > 0.05 {
+		t.Errorf("subgraph rank mass %g, want ~1", mass)
+	}
+	if sstats.Supersteps >= vstats.Supersteps {
+		t.Errorf("subgraph pagerank took %d supersteps, vertex mode %d",
+			sstats.Supersteps, vstats.Supersteps)
+	}
+}
+
+func TestSubgraphModeWithoutPortFails(t *testing.T) {
+	g := symRandomGraph(7, 20)
+	alg := NewTriangleCount()
+	if alg.SupportsSubgraph() {
+		t.Skip("triangles grew a subgraph port; pick another algorithm")
+	}
+	if _, err := alg.Run(g, pregel.Config{NumWorkers: 2, ComputeMode: pregel.ModeSubgraph}); err == nil {
+		t.Fatal("subgraph mode without a port: want error, got nil")
+	}
+}
+
+func TestSubgraphNames(t *testing.T) {
+	names := SubgraphNames()
+	want := map[string]bool{"cc": true, "bfs": true, "pagerank": true}
+	if len(names) != len(want) {
+		t.Fatalf("SubgraphNames() = %v, want the keys of %v", names, want)
+	}
+	for _, n := range names {
+		if !want[n] {
+			t.Errorf("unexpected subgraph algorithm %q", n)
+		}
+	}
+}

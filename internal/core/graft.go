@@ -65,6 +65,10 @@ type Options struct {
 	Description string
 	// NumWorkers must match the pregel.Config the job will run with.
 	NumWorkers int
+	// ComputeMode records how the job dispatches compute ("vertex" or
+	// "subgraph"); it lands in the trace manifest so `graft repro`
+	// generates the matching harness. Empty means vertex.
+	ComputeMode string
 	// Trace configures the capture pipeline (trace.WithSegmentSize,
 	// trace.WithBackpressure, trace.WithQueueCapacity,
 	// trace.WithSynchronous). The default is the asynchronous pipeline
@@ -107,6 +111,7 @@ func Attach(store *trace.Store, opts Options, graph *pregel.Graph, cfg DebugConf
 		NumWorkers:  opts.NumWorkers,
 		NumVertices: graph.NumVertices(),
 		NumEdges:    graph.NumEdges(),
+		ComputeMode: opts.ComputeMode,
 	}, opts.Trace...)
 	if err != nil {
 		return nil, err

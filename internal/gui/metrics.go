@@ -257,6 +257,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		Rebalances                         int
 		Migrated                           int64
 		HasMigrations                      bool
+		Subgraphs, InternalIters           int64
+		HasSubgraphs                       bool
 		Sent, Combined, Received, Vertices int64
 		Recoveries                         int
 		Faults                             string
@@ -286,6 +288,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		Rebalances:      jm.Totals.Rebalances,
 		Migrated:        jm.Totals.VerticesMigrated,
 		HasMigrations:   jm.Totals.Rebalances > 0,
+		Subgraphs:       jm.Totals.SubgraphsComputed,
+		InternalIters:   jm.Totals.InternalIterations,
+		HasSubgraphs:    jm.Totals.SubgraphsComputed > 0,
 		Sent:            jm.Totals.MessagesSent, Combined: jm.Totals.MessagesCombined,
 		Received: jm.Totals.MessagesReceived, Vertices: jm.Totals.VerticesProcessed,
 		Recoveries:        jm.Recoveries,

@@ -615,7 +615,7 @@ func (s *Server) apiSuperstep(w http.ResponseWriter, r *http.Request, db trace.V
 		})
 	}
 	st := db.StatusAt(n)
-	writeJSON(w, map[string]any{
+	out := map[string]any{
 		"superstep":         n,
 		"num_vertices":      meta.NumVertices,
 		"num_edges":         meta.NumEdges,
@@ -624,7 +624,27 @@ func (s *Server) apiSuperstep(w http.ResponseWriter, r *http.Request, db trace.V
 		"message_violation": st.MessageViolation,
 		"vertex_violation":  st.VertexViolation,
 		"exception":         st.Exception,
-	})
+	}
+	if sgs := db.SubgraphsAt(n); len(sgs) > 0 {
+		type sgRow struct {
+			ID           int64  `json:"id"`
+			Members      int    `json:"members"`
+			Iterations   int64  `json:"internal_iterations"`
+			MessagesSent int64  `json:"sent"`
+			Halted       bool   `json:"halted"`
+			Digest       string `json:"digest"`
+		}
+		srows := make([]sgRow, 0, len(sgs))
+		for _, sc := range sgs {
+			srows = append(srows, sgRow{
+				ID: int64(sc.ID), Members: len(sc.Members),
+				Iterations: sc.Iterations, MessagesSent: sc.MessagesSent,
+				Halted: sc.HaltedAfter, Digest: sc.Digest,
+			})
+		}
+		out["subgraphs"] = srows
+	}
+	writeJSON(w, out)
 }
 
 func (s *Server) apiSearch(w http.ResponseWriter, r *http.Request, db trace.View) {

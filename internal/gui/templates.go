@@ -186,6 +186,8 @@ has the per-worker timeline, the traffic heatmap and the anomaly feed.</p>
 {{if .HasOutboxLog}}<tr><th>Outbox log</th><td colspan="7">{{.OutboxLog}}</td></tr>{{end}}
 {{if .HasMigrations}}<tr><th>Rebalances</th><td>{{.Rebalances}}</td>
 <th>Vertices migrated</th><td colspan="5">{{.Migrated}}</td></tr>{{end}}
+{{if .HasSubgraphs}}<tr><th>Subgraphs computed</th><td>{{.Subgraphs}}</td>
+<th>Internal iterations</th><td colspan="5">{{.InternalIters}}</td></tr>{{end}}
 {{if .HasDFS}}<tr><th>DFS traffic</th><td colspan="7">{{.DFS}}</td></tr>{{end}}
 </table>
 {{if .RecoveryRows}}

@@ -39,6 +39,8 @@ func (r *Registry) ServeVars(w http.ResponseWriter, req *http.Request) {
 		"graft.capture_overhead":    snap.Totals.CaptureOverhead(),
 		"graft.flush_ns":            snap.Totals.FlushNanos,
 		"graft.max_capture_queue":   snap.Totals.MaxCaptureQueueDepth,
+		"graft.subgraphs_computed":  snap.Totals.SubgraphsComputed,
+		"graft.internal_iterations": snap.Totals.InternalIterations,
 		"graft.max_compute_skew":    snap.Totals.MaxComputeSkew,
 		"graft.max_message_skew":    snap.Totals.MaxMessageSkew,
 		"graft.recoveries":          snap.Recoveries,

@@ -56,6 +56,13 @@ type Totals struct {
 	MaxComputeSkew float64 `json:"max_compute_skew"`
 	// MaxMessageSkew is the worst per-superstep message imbalance.
 	MaxMessageSkew float64 `json:"max_message_skew"`
+	// SubgraphsComputed counts ComputeSubgraph invocations over the
+	// whole job (absent in vertex mode).
+	SubgraphsComputed int64 `json:"subgraphs_computed,omitempty"`
+	// InternalIterations sums the local sweeps subgraph computations
+	// reported via AddIterations — the work the collapsed supersteps
+	// moved inside the components (absent in vertex mode).
+	InternalIterations int64 `json:"internal_iterations,omitempty"`
 	// Rebalances counts barriers at which the skew rebalancer migrated
 	// vertices (absent unless adaptive repartitioning is enabled).
 	Rebalances int `json:"rebalances,omitempty"`
@@ -74,6 +81,8 @@ func (t *Totals) add(ss pregel.SuperstepStats) {
 	t.BarrierNanos += ss.BarrierWait.Nanoseconds()
 	t.CaptureNanos += ss.CaptureTime.Nanoseconds()
 	t.FlushNanos += ss.FlushTime.Nanoseconds()
+	t.SubgraphsComputed += ss.SubgraphsComputed
+	t.InternalIterations += ss.InternalIterations
 	if ss.CaptureQueueDepth > t.MaxCaptureQueueDepth {
 		t.MaxCaptureQueueDepth = ss.CaptureQueueDepth
 	}

@@ -206,6 +206,13 @@ type SuperstepStats struct {
 	// in the trace pipeline when the barrier was reached, sampled just
 	// before the flush: how far writing lagged compute.
 	CaptureQueueDepth int `json:"capture_queue,omitempty"`
+	// SubgraphsComputed counts ComputeSubgraph invocations this
+	// superstep (zero in vertex mode).
+	SubgraphsComputed int64 `json:"subgraphs,omitempty"`
+	// InternalIterations counts the internal sequential iterations
+	// subgraph computations reported via SubgraphContext.AddIterations —
+	// the work that vertex mode would have paid one superstep each for.
+	InternalIterations int64 `json:"internal_iters,omitempty"`
 	// Workers holds the per-worker breakdown, indexed by worker ID.
 	Workers []WorkerStepStats `json:"workers,omitempty"`
 	// Traffic is the numWorkers×numWorkers message-flow matrix of this
@@ -246,6 +253,10 @@ type WorkerStepStats struct {
 	ComputeTime       time.Duration `json:"compute_ns"`
 	BarrierWait       time.Duration `json:"barrier_ns"`
 	CaptureTime       time.Duration `json:"capture_ns"`
+	// Subgraphs and Iterations are the worker's ModeSubgraph telemetry
+	// (zero in vertex mode).
+	Subgraphs  int64 `json:"subgraphs,omitempty"`
+	Iterations int64 `json:"internal_iters,omitempty"`
 }
 
 // BarrierFlusher is implemented by listeners that buffer trace

@@ -229,6 +229,13 @@ type Config struct {
 	// capture that feeds it. Detection requires telemetry, so it is
 	// also off when DisableMetrics is set.
 	AnomalyWindow int
+	// ComputeMode selects the unit of computation: ModeVertex (the zero
+	// value) runs Computation.Compute per vertex; ModeSubgraph runs
+	// SubgraphComputation.ComputeSubgraph per connected component of a
+	// partition (build the job with NewSubgraphJob). Message transport,
+	// aggregators, checkpoints, recovery and rebalancing are
+	// mode-independent.
+	ComputeMode ComputeMode
 	// NoPartitionSkip disables the halted-partition fast path: normally
 	// a partition with zero active vertices and no pending messages is
 	// skipped in the superstep scan (its worker would only iterate
@@ -252,8 +259,11 @@ type aggEntry struct {
 // of the graph: values and topology are mutated in place, so callers
 // that reuse a dataset across runs must pass graph.Clone().
 type Job struct {
-	cfg      Config
-	comp     Computation
+	cfg   Config
+	comp  Computation
+	// scomp is the ModeSubgraph program (nil in vertex mode); set by
+	// NewSubgraphJob.
+	scomp    SubgraphComputation
 	graph    *Graph
 	aggs     map[string]aggEntry
 	aggNames []string
@@ -320,6 +330,13 @@ type partition struct {
 	// superstep; only the owning worker writes it, and the coordinator
 	// folds it into edges at the barrier.
 	edgeDelta int
+	// subs caches the partition's weakly-connected components for
+	// ModeSubgraph (nil until first discovery). subsDirty flags that
+	// membership may have changed — topology mutation, vertex
+	// add/remove, migration, recovery — so the owning worker rediscovers
+	// before its next subgraph scan.
+	subs      []*Subgraph
+	subsDirty bool
 }
 
 func (p *partition) compactIfNeeded() {
@@ -362,6 +379,11 @@ type workerResult struct {
 	received     int64
 	computeNanos int64
 	captureNanos int64
+	// subgraphs and iterations are ModeSubgraph telemetry: components
+	// computed and internal sequential iterations reported via
+	// SubgraphContext.AddIterations.
+	subgraphs  int64
+	iterations int64
 }
 
 type engine struct {
@@ -557,6 +579,14 @@ func (en *engine) run(start time.Time) (*Stats, error) {
 	if err := en.cfg.Validate(); err != nil {
 		return finish(err)
 	}
+	// Mode↔computation consistency is a Job property, so it is checked
+	// here rather than in Config.Validate.
+	if en.cfg.ComputeMode == ModeSubgraph && en.job.scomp == nil {
+		return finish(invalidf("ComputeMode = subgraph without a SubgraphComputation (build the job with NewSubgraphJob)"))
+	}
+	if en.cfg.ComputeMode == ModeVertex && en.job.comp == nil {
+		return finish(invalidf("ComputeMode = vertex without a Computation"))
+	}
 
 	if en.cfg.Recovery == RecoveryLog {
 		en.msglog = newMsgLog(en.cfg.MsgLogFS, en.cfg.MsgLogPrefix, en.msgLogSegmentSize(), len(en.parts))
@@ -647,7 +677,11 @@ func (en *engine) run(start time.Time) (*Stats, error) {
 					}
 					defer pool.release()
 				}
-				results[w], errs[w] = en.runWorker(w, nv, ne)
+				if en.cfg.ComputeMode == ModeSubgraph {
+					results[w], errs[w] = en.runSubgraphWorker(w, nv, ne)
+				} else {
+					results[w], errs[w] = en.runWorker(w, nv, ne)
+				}
 			}(w)
 		}
 		wg.Wait()
@@ -948,10 +982,14 @@ func (en *engine) foldTelemetry(ss *SuperstepStats, results []workerResult, wall
 			MessagesReceived:  r.received,
 			ComputeTime:       time.Duration(r.computeNanos),
 			CaptureTime:       time.Duration(r.captureNanos),
+			Subgraphs:         r.subgraphs,
+			Iterations:        r.iterations,
 		}
 		ss.VerticesProcessed += r.vertices
 		ss.MessagesReceived += r.received
 		ss.CaptureTime += time.Duration(r.captureNanos)
+		ss.SubgraphsComputed += r.subgraphs
+		ss.InternalIterations += r.iterations
 		if r.computeNanos > maxCompute {
 			maxCompute = r.computeNanos
 			ss.Straggler = w
@@ -1060,6 +1098,7 @@ func (en *engine) integrateMissing() int64 {
 					v := &Vertex{id: id, value: val, owner: part}
 					part.verts[id] = v
 					part.ids = append(part.ids, id)
+					part.subsDirty = true
 					created[w] = append(created[w], v)
 				} else {
 					dropped[w] += int64(len(en.next.take(w, id)))
@@ -1106,6 +1145,7 @@ func (en *engine) applyMutations(results []workerResult) {
 				// in MWM).
 				delete(p.verts, id)
 				p.removed++
+				p.subsDirty = true
 			}
 		}
 	}
@@ -1124,6 +1164,7 @@ func (en *engine) applyMutations(results []workerResult) {
 			v := &Vertex{id: add.id, value: val, owner: p}
 			p.verts[add.id] = v
 			p.ids = append(p.ids, add.id)
+			p.subsDirty = true
 			en.partActive[p.idx]++ // new vertices start active
 			if p.removed > 0 {
 				// p.ids may still hold a stale entry for this ID from an

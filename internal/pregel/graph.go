@@ -1,6 +1,8 @@
 package pregel
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"sort"
 )
@@ -113,6 +115,24 @@ func (g *Graph) Clone() *Graph {
 	}
 	c.numEdges = g.NumEdges()
 	return c
+}
+
+// ValuesDigest returns a hex SHA-256 over the graph's (vertex ID,
+// encoded value) pairs in ascending ID order. Two runs that leave
+// every vertex with the same final value — regardless of how many
+// supersteps, which compute mode, or which partition layout got them
+// there — produce the same digest, which is what anchors
+// vertex-vs-subgraph equivalence checks.
+func (g *Graph) ValuesDigest() string {
+	h := sha256.New()
+	e := NewEncoder()
+	for _, id := range g.VertexIDs() {
+		e.Reset()
+		e.PutVarint(int64(id))
+		EncodeTyped(e, g.vertices[id].value)
+		h.Write(e.Bytes())
+	}
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 // SortAllEdges orders every adjacency list by target ID so that runs

@@ -97,6 +97,12 @@ func (en *engine) rebalance(ss *SuperstepStats, v anomaly.SkewVerdict) {
 		en.next.migrate(from, to, id)
 		movedEdges += int64(len(v.edges))
 	}
+	// A migration changes both partitions' contents, so their cached
+	// subgraph membership is stale: the moved vertices' components must
+	// dissolve out of src and re-form (possibly merging) in dst before
+	// the next ModeSubgraph scan.
+	src.subsDirty = true
+	dst.subsDirty = true
 	src.compactIfNeeded()
 	if dst.removed > 0 {
 		// dst may still list a moved-in vertex from before an earlier

@@ -369,6 +369,9 @@ func (en *engine) replayStep(t int, snap stepSnapshot, inbox *messageStore, fail
 }
 
 func (en *engine) replayWorker(p, t int, snap stepSnapshot, inbox *messageStore) error {
+	if en.cfg.ComputeMode == ModeSubgraph {
+		return en.replaySubgraphWorker(p, t, snap, inbox)
+	}
 	part := en.parts[p]
 	ctx := &workerCtx{
 		en:          en,
@@ -453,6 +456,7 @@ func (en *engine) applyLoggedMutations(removals []VertexID, additions []vertexAd
 			p.edges -= int64(len(v.edges))
 			delete(p.verts, id)
 			p.removed++
+			p.subsDirty = true
 		}
 	}
 	var adds []vertexAddition
@@ -477,6 +481,7 @@ func (en *engine) applyLoggedMutations(removals []VertexID, additions []vertexAd
 		v := &Vertex{id: add.id, value: val, owner: p}
 		p.verts[add.id] = v
 		p.ids = append(p.ids, add.id)
+		p.subsDirty = true
 		if p.removed > 0 {
 			dirty = append(dirty, p)
 		}
@@ -520,6 +525,7 @@ func (en *engine) resolveReplayMissing(store *messageStore, failed map[int]bool)
 				v := &Vertex{id: id, value: val, owner: part}
 				part.verts[id] = v
 				part.ids = append(part.ids, id)
+				part.subsDirty = true
 				en.job.graph.vertices[id] = v
 			} else {
 				store.take(p, id)

@@ -42,6 +42,9 @@ func (c *Config) Validate() error {
 	if c.RebalanceMaxMoves < 0 {
 		return invalidf("RebalanceMaxMoves = %d, must be >= 0 (0 means the default)", c.RebalanceMaxMoves)
 	}
+	if c.ComputeMode != ModeVertex && c.ComputeMode != ModeSubgraph {
+		return invalidf("ComputeMode = %d, must be ModeVertex or ModeSubgraph", int(c.ComputeMode))
+	}
 	if c.CheckpointEvery > 0 && c.CheckpointFS == nil {
 		return invalidf("CheckpointEvery = %d without CheckpointFS", c.CheckpointEvery)
 	}

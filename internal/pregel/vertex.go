@@ -86,6 +86,7 @@ func (v *Vertex) AddEdge(e Edge) {
 	v.edges = append(v.edges, e)
 	if v.owner != nil {
 		v.owner.edgeDelta++
+		v.owner.subsDirty = true
 	}
 }
 
@@ -104,6 +105,9 @@ func (v *Vertex) RemoveEdges(target VertexID) int {
 	v.edges = kept
 	if v.owner != nil {
 		v.owner.edgeDelta -= removed
+		if removed > 0 {
+			v.owner.subsDirty = true
+		}
 	}
 	return removed
 }
@@ -112,6 +116,9 @@ func (v *Vertex) RemoveEdges(target VertexID) int {
 func (v *Vertex) RemoveAllEdges() {
 	if v.owner != nil {
 		v.owner.edgeDelta -= len(v.edges)
+		if len(v.edges) > 0 {
+			v.owner.subsDirty = true
+		}
 	}
 	v.edges = v.edges[:0]
 }

@@ -16,9 +16,10 @@ type DB struct {
 	Meta   JobMeta
 	Result *JobResult // nil if the job has not written job.done
 
-	metas    map[int]*SuperstepMeta
-	captures map[int]map[pregel.VertexID]*VertexCapture
-	masters  map[int]*MasterCapture
+	metas     map[int]*SuperstepMeta
+	captures  map[int]map[pregel.VertexID]*VertexCapture
+	masters   map[int]*MasterCapture
+	subgraphs map[int]map[pregel.VertexID]*SubgraphCapture
 
 	supersteps []int // sorted superstep numbers that have a meta record
 }
@@ -96,6 +97,16 @@ func (db *DB) add(rec any) {
 		if m == nil {
 			m = map[pregel.VertexID]*VertexCapture{}
 			db.captures[r.Superstep] = m
+		}
+		m[r.ID] = r
+	case *SubgraphCapture:
+		if db.subgraphs == nil {
+			db.subgraphs = map[int]map[pregel.VertexID]*SubgraphCapture{}
+		}
+		m := db.subgraphs[r.Superstep]
+		if m == nil {
+			m = map[pregel.VertexID]*SubgraphCapture{}
+			db.subgraphs[r.Superstep] = m
 		}
 		m[r.ID] = r
 	}
@@ -179,6 +190,40 @@ func (db *DB) TotalCaptures() int64 {
 		n += int64(len(m))
 	}
 	return n
+}
+
+// SubgraphsAt returns a superstep's subgraph captures sorted by
+// subgraph ID. Empty for vertex-mode jobs.
+func (db *DB) SubgraphsAt(superstep int) []*SubgraphCapture {
+	m := db.subgraphs[superstep]
+	out := make([]*SubgraphCapture, 0, len(m))
+	for _, c := range m {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// SubgraphAt returns the subgraph capture containing vertex id at one
+// superstep, or nil.
+func (db *DB) SubgraphAt(superstep int, id pregel.VertexID) *SubgraphCapture {
+	if c, ok := db.subgraphs[superstep][id]; ok {
+		return c
+	}
+	return findMemberSubgraph(db.SubgraphsAt(superstep), id)
+}
+
+// findMemberSubgraph resolves a non-ID member to its subgraph capture
+// (shared by DB and Reader).
+func findMemberSubgraph(caps []*SubgraphCapture, id pregel.VertexID) *SubgraphCapture {
+	for _, c := range caps {
+		for _, m := range c.Members {
+			if m == id {
+				return c
+			}
+		}
+	}
+	return nil
 }
 
 // ViolationRow is one row of the Violations and Exceptions view.

@@ -18,9 +18,10 @@ const fileMagic = "GRFTTRC1"
 type recordKind uint8
 
 const (
-	kindSuperstepMeta recordKind = 1
-	kindVertexCapture recordKind = 2
-	kindMasterCapture recordKind = 3
+	kindSuperstepMeta   recordKind = 1
+	kindVertexCapture   recordKind = 2
+	kindMasterCapture   recordKind = 3
+	kindSubgraphCapture recordKind = 4
 )
 
 // ErrBadMagic is returned when a trace file does not start with the
@@ -76,6 +77,13 @@ func (w *Writer) WriteSuperstepMeta(m *SuperstepMeta) error {
 	return w.frame()
 }
 
+// WriteSubgraphCapture appends one subgraph capture record.
+func (w *Writer) WriteSubgraphCapture(c *SubgraphCapture) error {
+	w.e.Reset()
+	encodeSubgraphCapturePayload(w.e, c)
+	return w.frame()
+}
+
 // encodeRecordPayload appends the framed payload of rec (kind byte
 // first) to e. The payload bytes are identical between legacy .trace
 // files and segment files; only the container around them differs.
@@ -87,6 +95,8 @@ func encodeRecordPayload(e *pregel.Encoder, rec any) error {
 		encodeMasterCapturePayload(e, r)
 	case *SuperstepMeta:
 		encodeSuperstepMetaPayload(e, r)
+	case *SubgraphCapture:
+		encodeSubgraphCapturePayload(e, r)
 	default:
 		return fmt.Errorf("trace: cannot encode record type %T", rec)
 	}
@@ -143,6 +153,24 @@ func encodeMasterCapturePayload(e *pregel.Encoder, c *MasterCapture) {
 	encodeException(e, c.Exception)
 }
 
+// encodeSubgraphCapturePayload shares VertexCapture's envelope prefix
+// (kind, superstep, worker, id) so index scans extract coordinates the
+// same way for both capture kinds.
+func encodeSubgraphCapturePayload(e *pregel.Encoder, c *SubgraphCapture) {
+	e.PutUvarint(uint64(kindSubgraphCapture))
+	e.PutUvarint(uint64(c.Superstep))
+	e.PutUvarint(uint64(c.Worker))
+	e.PutVarint(int64(c.ID))
+	e.PutUvarint(uint64(len(c.Members)))
+	for _, id := range c.Members {
+		e.PutVarint(int64(id))
+	}
+	e.PutVarint(c.Iterations)
+	e.PutVarint(c.MessagesSent)
+	e.PutBool(c.HaltedAfter)
+	e.PutString(c.Digest)
+}
+
 func encodeSuperstepMetaPayload(e *pregel.Encoder, m *SuperstepMeta) {
 	e.PutUvarint(uint64(kindSuperstepMeta))
 	e.PutUvarint(uint64(m.Superstep))
@@ -163,6 +191,8 @@ func decodeRecordPayload(payload []byte) (any, error) {
 		return decodeMasterCapture(pd)
 	case kindSuperstepMeta:
 		return decodeSuperstepMeta(pd)
+	case kindSubgraphCapture:
+		return decodeSubgraphCapture(pd)
 	}
 	if pd.Err() != nil {
 		return nil, pd.Err()
@@ -370,6 +400,26 @@ func decodeMasterCapture(d *pregel.Decoder) (*MasterCapture, error) {
 	if c.Exception, err = decodeException(d); err != nil {
 		return nil, err
 	}
+	return c, d.Err()
+}
+
+func decodeSubgraphCapture(d *pregel.Decoder) (*SubgraphCapture, error) {
+	c := &SubgraphCapture{}
+	c.Superstep = int(d.Uvarint())
+	c.Worker = int(d.Uvarint())
+	c.ID = pregel.VertexID(d.Varint())
+	n := d.Uvarint()
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	c.Members = make([]pregel.VertexID, 0, n)
+	for i := uint64(0); i < n; i++ {
+		c.Members = append(c.Members, pregel.VertexID(d.Varint()))
+	}
+	c.Iterations = d.Varint()
+	c.MessagesSent = d.Varint()
+	c.HaltedAfter = d.Bool()
+	c.Digest = d.String()
 	return c, d.Err()
 }
 

@@ -46,6 +46,12 @@ type View interface {
 	StatusAt(superstep int) Status
 	// Search returns captures matching q in (superstep, vertex) order.
 	Search(q Query) []*VertexCapture
+	// SubgraphsAt returns a superstep's subgraph captures sorted by
+	// subgraph ID. Empty for vertex-mode jobs.
+	SubgraphsAt(superstep int) []*SubgraphCapture
+	// SubgraphAt returns the subgraph capture containing vertex id at
+	// one superstep, or nil.
+	SubgraphAt(superstep int, id pregel.VertexID) *SubgraphCapture
 }
 
 var (
@@ -80,10 +86,11 @@ type Reader struct {
 
 	legacy *DB // non-nil for legacy whole-file traces
 
-	metaLoc   map[int]recordLoc
-	masterLoc map[int]recordLoc
-	vertexLoc map[int]map[pregel.VertexID]recordLoc
-	steps     []int
+	metaLoc     map[int]recordLoc
+	masterLoc   map[int]recordLoc
+	vertexLoc   map[int]map[pregel.VertexID]recordLoc
+	subgraphLoc map[int]map[pregel.VertexID]recordLoc
+	steps       []int
 	// segOrder lists every segment in lane+sequence order: the scan
 	// order under which last-record-wins matches legacy LoadDB.
 	segOrder []string
@@ -146,6 +153,7 @@ func (r *Reader) loadIndex() error {
 	r.metaLoc = map[int]recordLoc{}
 	r.masterLoc = map[int]recordLoc{}
 	r.vertexLoc = map[int]map[pregel.VertexID]recordLoc{}
+	r.subgraphLoc = map[int]map[pregel.VertexID]recordLoc{}
 
 	var idxFiles, segFiles []string
 	for _, name := range files {
@@ -217,6 +225,13 @@ func (r *Reader) place(ent indexEntry, seg string) {
 			r.vertexLoc[ent.Superstep] = m
 		}
 		m[ent.VertexID] = loc
+	case kindSubgraphCapture:
+		m := r.subgraphLoc[ent.Superstep]
+		if m == nil {
+			m = map[pregel.VertexID]recordLoc{}
+			r.subgraphLoc[ent.Superstep] = m
+		}
+		m[ent.VertexID] = loc
 	}
 }
 
@@ -244,7 +259,7 @@ func scanSegmentEntries(data []byte) ([]indexEntry, error) {
 			Offset:    payloadOff,
 			Length:    len(payload),
 		}
-		if ent.Kind == kindVertexCapture {
+		if ent.Kind == kindVertexCapture || ent.Kind == kindSubgraphCapture {
 			pd.Uvarint() // worker
 			ent.VertexID = pregel.VertexID(pd.Varint())
 		}
@@ -489,6 +504,36 @@ func (r *Reader) StatusAt(superstep int) Status {
 		return r.legacy.StatusAt(superstep)
 	}
 	return statusOf(r.CapturesAt(superstep))
+}
+
+// SubgraphsAt implements View.
+func (r *Reader) SubgraphsAt(superstep int) []*SubgraphCapture {
+	if r.legacy != nil {
+		return r.legacy.SubgraphsAt(superstep)
+	}
+	m := r.subgraphLoc[superstep]
+	out := make([]*SubgraphCapture, 0, len(m))
+	for _, loc := range m {
+		if c, _ := r.record(loc).(*SubgraphCapture); c != nil {
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// SubgraphAt implements View. The index is keyed by subgraph ID, so a
+// non-ID member costs a scan of the superstep's subgraph captures.
+func (r *Reader) SubgraphAt(superstep int, id pregel.VertexID) *SubgraphCapture {
+	if r.legacy != nil {
+		return r.legacy.SubgraphAt(superstep, id)
+	}
+	if loc, ok := r.subgraphLoc[superstep][id]; ok {
+		if c, _ := r.record(loc).(*SubgraphCapture); c != nil {
+			return c
+		}
+	}
+	return findMemberSubgraph(r.SubgraphsAt(superstep), id)
 }
 
 // Search implements View.

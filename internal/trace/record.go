@@ -153,6 +153,30 @@ type VertexCapture struct {
 	Exception   *ExceptionInfo
 }
 
+// SubgraphCapture summarizes one ComputeSubgraph call over a captured
+// component in subgraph mode: its membership, how many internal
+// iterations the sequential algorithm ran, and a digest of the member
+// values after compute. The members' full contexts are captured as
+// ordinary VertexCapture records alongside it, so a subgraph step
+// stays single-vertex debuggable; this record carries what those
+// cannot — the component structure and the collapsed work.
+type SubgraphCapture struct {
+	Superstep int
+	Worker    int
+	// ID is the subgraph's identifier: its minimum member vertex ID.
+	ID      pregel.VertexID
+	Members []pregel.VertexID
+	// Iterations is the internal-iteration count the computation
+	// reported through SubgraphContext.AddIterations — the supersteps
+	// the subgraph mode collapsed away.
+	Iterations   int64
+	MessagesSent int64
+	HaltedAfter  bool
+	// Digest is hex SHA-256 over the sorted (member ID, value-after)
+	// pairs: the per-component anchor for vertex-mode equivalence.
+	Digest string
+}
+
 // AggSet records one master SetAggregated call.
 type AggSet struct {
 	Name  string
@@ -192,6 +216,10 @@ type JobMeta struct {
 	NumWorkers  int    `json:"num_workers"`
 	NumVertices int64  `json:"num_vertices"`
 	NumEdges    int64  `json:"num_edges"`
+	// ComputeMode records how the job was dispatched: "subgraph" for
+	// subgraph-centric jobs, empty (or "vertex") for vertex-centric
+	// ones. `graft repro` keys its codegen off this.
+	ComputeMode string `json:"compute_mode,omitempty"`
 	// Format identifies the on-disk trace layout: FormatSegments for
 	// jobs written through Store.NewSink, empty for legacy whole-file
 	// traces written through the deprecated NewJobWriter.

@@ -74,7 +74,7 @@ var (
 type indexEntry struct {
 	Kind      recordKind
 	Superstep int
-	VertexID  pregel.VertexID // 0 unless Kind is kindVertexCapture
+	VertexID  pregel.VertexID // 0 unless Kind is kindVertexCapture or kindSubgraphCapture
 	Offset    int             // payload start within the segment file
 	Length    int             // payload length
 }
@@ -138,6 +138,8 @@ func entryFor(rec any, payload []byte) indexEntry {
 	ent := indexEntry{Kind: recordKind(payload[0]), Length: len(payload)}
 	switch r := rec.(type) {
 	case *VertexCapture:
+		ent.Superstep, ent.VertexID = r.Superstep, r.ID
+	case *SubgraphCapture:
 		ent.Superstep, ent.VertexID = r.Superstep, r.ID
 	case *MasterCapture:
 		ent.Superstep = r.Superstep

@@ -136,6 +136,7 @@ type RecordSink interface {
 	WriteVertexCapture(*VertexCapture) error
 	WriteMasterCapture(*MasterCapture) error
 	WriteSuperstepMeta(*SuperstepMeta) error
+	WriteSubgraphCapture(*SubgraphCapture) error
 }
 
 // Sink is the write half of the redesigned trace API: per-lane record
@@ -493,6 +494,7 @@ func (l *sinkLane) sendLocked() {
 	}
 }
 
-func (l *sinkLane) WriteVertexCapture(c *VertexCapture) error { return l.submit(c) }
-func (l *sinkLane) WriteMasterCapture(c *MasterCapture) error { return l.submit(c) }
-func (l *sinkLane) WriteSuperstepMeta(m *SuperstepMeta) error { return l.submit(m) }
+func (l *sinkLane) WriteVertexCapture(c *VertexCapture) error     { return l.submit(c) }
+func (l *sinkLane) WriteMasterCapture(c *MasterCapture) error     { return l.submit(c) }
+func (l *sinkLane) WriteSuperstepMeta(m *SuperstepMeta) error     { return l.submit(m) }
+func (l *sinkLane) WriteSubgraphCapture(c *SubgraphCapture) error { return l.submit(c) }

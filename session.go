@@ -427,6 +427,9 @@ func validateRunOptions(opts *RunOptions) error {
 			return fmt.Errorf("%w: Debug set without JobID", ErrInvalidOptions)
 		}
 	}
+	if opts.Engine.ComputeMode == pregel.ModeSubgraph && opts.Subgraph == nil {
+		return fmt.Errorf("%w: ComputeMode is ModeSubgraph but no SubgraphComputation was provided (set RunOptions.Subgraph, or use an Algorithm with a Subgraph port)", ErrInvalidOptions)
+	}
 	if err := opts.Engine.Validate(); err != nil {
 		return fmt.Errorf("%w: %w", ErrInvalidOptions, err)
 	}
@@ -449,6 +452,9 @@ func mergeAlgorithm(opts *RunOptions, alg *Algorithm) {
 	if opts.Engine.MaxSupersteps == 0 {
 		opts.Engine.MaxSupersteps = alg.MaxSupersteps
 	}
+	if opts.Subgraph == nil {
+		opts.Subgraph = alg.Subgraph
+	}
 	opts.Aggregators = append(opts.Aggregators, alg.Aggregators...)
 }
 
@@ -457,11 +463,16 @@ func mergeAlgorithm(opts *RunOptions, alg *Algorithm) {
 // under ctx.
 func runJob(ctx context.Context, g *Graph, comp Computation, opts RunOptions, extra pregel.JobListener) (*RunResult, error) {
 	cfg := opts.Engine
+	scomp := opts.Subgraph
 	res := &RunResult{}
 	var session *core.Graft
 	if opts.Debug != nil {
 		if cfg.NumWorkers <= 0 {
 			cfg.NumWorkers = pregel.DefaultNumWorkers
+		}
+		mode := ""
+		if cfg.ComputeMode == pregel.ModeSubgraph {
+			mode = "subgraph"
 		}
 		var err error
 		session, err = core.Attach(opts.Store, core.Options{
@@ -470,12 +481,17 @@ func runJob(ctx context.Context, g *Graph, comp Computation, opts RunOptions, ex
 			Description: opts.Description,
 			NumWorkers:  cfg.NumWorkers,
 			Trace:       opts.Trace,
+			ComputeMode: mode,
 			Context:     ctx,
 		}, g, *opts.Debug)
 		if err != nil {
 			return nil, err
 		}
-		comp = session.Instrument(comp)
+		if cfg.ComputeMode == pregel.ModeSubgraph && scomp != nil {
+			scomp = session.InstrumentSubgraph(scomp)
+		} else {
+			comp = session.Instrument(comp)
+		}
 		cfg.Master = session.InstrumentMaster(cfg.Master)
 		cfg.Listener = session.Chain(tee(extra, cfg.Listener))
 		if reg, ok := extra.(*metrics.Registry); ok {
@@ -488,7 +504,12 @@ func runJob(ctx context.Context, g *Graph, comp Computation, opts RunOptions, ex
 		cfg.Listener = tee(extra, cfg.Listener)
 	}
 
-	job := pregel.NewJob(g, comp, cfg)
+	var job *pregel.Job
+	if cfg.ComputeMode == pregel.ModeSubgraph {
+		job = pregel.NewSubgraphJob(g, scomp, cfg)
+	} else {
+		job = pregel.NewJob(g, comp, cfg)
+	}
 	for _, spec := range opts.Aggregators {
 		job.RegisterAggregator(spec.Name, spec.Agg, spec.Persistent)
 	}
