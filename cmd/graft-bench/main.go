@@ -16,6 +16,7 @@
 //	graft-bench -recovery -scale 0.0002 -reps 5 -out BENCH_recovery.json
 //	graft-bench -serve -scale 0.0002 -reps 5 -out BENCH_serve.json
 //	graft-bench -subgraph -scale 0.0002 -reps 5 -out BENCH_subgraph.json
+//	graft-bench -partition -scale 0.0002 -reps 5 -out BENCH_partition.json
 package main
 
 import (
@@ -42,6 +43,7 @@ func main() {
 	recoveryBench := flag.Bool("recovery", false, "compare log-based confined recovery against full checkpoint restart")
 	serveBench := flag.Bool("serve", false, "compare N debugged jobs run back to back against the same jobs sharing a concurrent session")
 	subgraphBench := flag.Bool("subgraph", false, "compare subgraph-centric compute against the vertex-centric baseline on traversal workloads")
+	partitionBench := flag.Bool("partition", false, "compare the streaming locality placer against hash partitioning on communication and convergence")
 	out := flag.String("out", "", "output file for the -metrics / -capture / -engine report (default BENCH_<kind>.json)")
 	faultP := flag.Float64("fault-p", 0.3, "per-operation fault probability for -chaos")
 	chaosRecovery := flag.String("chaos-recovery", "log", "how the -chaos crash recovers: log (confined replay) or checkpoint (full restart)")
@@ -383,6 +385,44 @@ func main() {
 				fmt.Println("subgraph check: OK (digests match; subgraph mode collapses supersteps and wall clock; CC-bp <= 10%)")
 			} else {
 				fmt.Println("subgraph check deviations:")
+				for _, p := range problems {
+					fmt.Println("  -", p)
+				}
+				os.Exit(1)
+			}
+		}
+	case *partitionBench:
+		workloads := harness.PartitionWorkloads(*scale, *seed, *workers)
+		if *out == "" {
+			*out = "BENCH_partition.json"
+		}
+		fmt.Printf("Placement: hash partitioning vs streaming locality placer (scale %g, %d reps, %d workers)\n",
+			*scale, *reps, *workers)
+		ps, err := harness.RunPartitionBench(workloads, harness.Options{
+			Reps: *reps, Seed: *seed, Progress: os.Stderr,
+		})
+		if err != nil {
+			log.Fatalf("graft-bench: %v", err)
+		}
+		fmt.Println()
+		harness.PrintPartitionBench(os.Stdout, ps)
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatalf("graft-bench: %v", err)
+		}
+		if err := harness.WritePartitionBenchJSON(f, ps); err != nil {
+			log.Fatalf("graft-bench: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatalf("graft-bench: %v", err)
+		}
+		fmt.Printf("\nwrote %s\n", *out)
+		if *check {
+			problems := harness.CheckPartitionBench(ps)
+			if len(problems) == 0 {
+				fmt.Println("partition check: OK (digests match; locality cuts >= 30% of cross-partition traffic on CC-web; BFS-chain collapses supersteps)")
+			} else {
+				fmt.Println("partition check deviations:")
 				for _, p := range problems {
 					fmt.Println("  -", p)
 				}

@@ -158,7 +158,9 @@ func cmdRun(args []string) error {
 	syncCapture := fs.Bool("sync-capture", false, "write trace records inline instead of through the async pipeline")
 	msgPlane := fs.String("msg-plane", "lanes", "message plane: lanes (lock-free per-sender lanes) or mutex (sharded locks)")
 	msgBatch := fs.Int("msg-batch", 0, "messages buffered per destination partition before flushing (0: default 1024)")
+	partitioner := fs.String("partitioner", "hash", "vertex placement: hash (stateless modulo) or locality (streaming neighbor-affinity placer)")
 	rebalanceSkew := fs.Float64("rebalance-skew", 0, "migrate hot vertices off stragglers when compute/message skew exceeds this ratio (0 disables)")
+	rebalanceObjective := fs.String("rebalance-objective", "skew", "what the rebalancer optimizes: skew (straggler load) or edgecut (cross-partition traffic)")
 	rebalanceMaxMoves := fs.Int("rebalance-max-moves", 0, "cap on vertices migrated per rebalance (0: default 1024)")
 	anomalyWindow := fs.Int("anomaly-window", 0, "sliding window in supersteps for the anomaly detectors (0: default 8, negative: disable detection and traffic-matrix capture)")
 	anomalyOut := fs.String("anomaly-out", "", "write detected anomaly events to this file as JSON Lines")
@@ -172,6 +174,24 @@ func cmdRun(args []string) error {
 		plane = pregel.PlaneMutex
 	default:
 		return fmt.Errorf("unknown -msg-plane %q (lanes, mutex)", *msgPlane)
+	}
+	var placer pregel.PartitionerMode
+	switch *partitioner {
+	case "hash":
+		placer = pregel.PartitionHash
+	case "locality":
+		placer = pregel.PartitionLocality
+	default:
+		return fmt.Errorf("unknown -partitioner %q (hash, locality)", *partitioner)
+	}
+	var objective pregel.RebalanceObjective
+	switch *rebalanceObjective {
+	case "skew":
+		objective = pregel.ObjectiveSkew
+	case "edgecut":
+		objective = pregel.ObjectiveEdgeCut
+	default:
+		return fmt.Errorf("unknown -rebalance-objective %q (skew, edgecut)", *rebalanceObjective)
 	}
 
 	a, err := buildAlgorithm(*alg, *seed, *supersteps)
@@ -205,17 +225,19 @@ func cmdRun(args []string) error {
 		id = fmt.Sprintf("%s-%d", a.Name, time.Now().UnixNano())
 	}
 	engCfg := pregel.Config{
-		NumWorkers:        *workers,
-		ComputeMode:       computeMode,
-		Combiner:          a.Combiner,
-		Master:            a.Master,
-		MaxSupersteps:     a.MaxSupersteps,
-		DisableMetrics:    *noMetrics,
-		MessagePlane:      plane,
-		MsgFlushBatch:     *msgBatch,
-		RebalanceSkew:     *rebalanceSkew,
-		RebalanceMaxMoves: *rebalanceMaxMoves,
-		AnomalyWindow:     *anomalyWindow,
+		NumWorkers:         *workers,
+		ComputeMode:        computeMode,
+		Combiner:           a.Combiner,
+		Master:             a.Master,
+		MaxSupersteps:      a.MaxSupersteps,
+		DisableMetrics:     *noMetrics,
+		MessagePlane:       plane,
+		MsgFlushBatch:      *msgBatch,
+		Partitioner:        placer,
+		RebalanceSkew:      *rebalanceSkew,
+		RebalanceObjective: objective,
+		RebalanceMaxMoves:  *rebalanceMaxMoves,
+		AnomalyWindow:      *anomalyWindow,
 	}
 	if *anomalyOut != "" && (*noMetrics || *anomalyWindow < 0) {
 		return fmt.Errorf("-anomaly-out needs the anomaly layer (drop -no-metrics and use a non-negative -anomaly-window)")
@@ -424,7 +446,12 @@ func cmdRun(args []string) error {
 		fmt.Printf("outbox log: %d messages logged (%d bytes)\n", stats.MessagesLogged, stats.BytesLogged)
 	}
 	if stats.Rebalances > 0 {
-		fmt.Printf("rebalancer: %d migrations moved %d vertices\n", stats.Rebalances, stats.VerticesMigrated)
+		fmt.Printf("rebalancer: %d migrations moved %d vertices (objective: %s)\n",
+			stats.Rebalances, stats.VerticesMigrated, objective)
+	}
+	if len(stats.PartitionSizes) > 0 {
+		fmt.Printf("placement: partitioner=%s sizes=%v edge-cut=%d local-msgs=%.1f%%\n",
+			stats.Partitioner, stats.PartitionSizes, stats.EdgeCut, stats.LocalMessageRatio()*100)
 	}
 	if len(stats.Anomalies) > 0 {
 		fmt.Printf("anomalies: %d events (%s)\n", len(stats.Anomalies), anomalySummary(stats.Anomalies))
@@ -538,6 +565,12 @@ func cmdShow(args []string) error {
 	db, err := store.OpenReader(*jobID)
 	if err != nil {
 		return err
+	}
+	// Placement summary from the persisted job metrics, when the run
+	// recorded them (older traces and -no-metrics runs have none).
+	if jm, err := metrics.ReadJobMetrics(store.FS, store.MetricsPath(*jobID)); err == nil && jm.Partitioner != "" {
+		fmt.Printf("placement: partitioner=%s edge-cut=%d local-msgs=%.1f%% vertices/worker=%v\n",
+			jm.Partitioner, jm.EdgeCut, jm.Totals.LocalMessageRatio(jm.TrafficTotal())*100, jm.PartitionSizes)
 	}
 	steps := db.Supersteps()
 	if *superstep >= 0 {

@@ -147,9 +147,16 @@ type (
 	// creation, letting SendMessageToAllEdges skip per-edge clones
 	// when no combiner is installed.
 	ImmutableValue = pregel.ImmutableValue
-	// MigrationEvent records one barrier migration by the skew
-	// rebalancer, surfaced in SuperstepStats.Migrations.
+	// MigrationEvent records one barrier migration by the rebalancer,
+	// surfaced in SuperstepStats.Migrations.
 	MigrationEvent = pregel.MigrationEvent
+	// PartitionerMode selects the initial vertex placement
+	// (EngineConfig.Partitioner): PartitionHash or PartitionLocality.
+	PartitionerMode = pregel.PartitionerMode
+	// RebalanceObjective selects what the adaptive repartitioner
+	// optimizes (EngineConfig.RebalanceObjective): ObjectiveSkew or
+	// ObjectiveEdgeCut.
+	RebalanceObjective = pregel.RebalanceObjective
 	// RecoveryMode selects how the engine recovers from worker
 	// failures (EngineConfig.Recovery): RecoveryCheckpoint restarts
 	// the whole job from the newest checkpoint, RecoveryLog confines
@@ -211,6 +218,34 @@ const (
 	// EngineConfig.MsgLogFS; degrades to a checkpoint restart when the
 	// logs cannot drive a replay.
 	RecoveryLog = pregel.RecoveryLog
+)
+
+// Placement modes for EngineConfig.Partitioner.
+const (
+	// PartitionHash is Fibonacci hashing, the default: placement is a
+	// pure function of the vertex ID, byte-compatible with runs from
+	// before the placement subsystem existed.
+	PartitionHash = pregel.PartitionHash
+	// PartitionLocality is the streaming locality-aware placer: each
+	// vertex goes to the worker already holding the most of its
+	// neighbors, capacity-penalized so load stays balanced. Fewer
+	// cross-worker messages on every workload, larger components —
+	// hence fuller superstep collapse — in ModeSubgraph. Results and
+	// trace digests are identical to PartitionHash.
+	PartitionLocality = pregel.PartitionLocality
+)
+
+// Rebalance objectives for EngineConfig.RebalanceObjective.
+const (
+	// ObjectiveSkew migrates hot vertices off straggler workers when
+	// compute/message skew crosses EngineConfig.RebalanceSkew (the
+	// default objective).
+	ObjectiveSkew = pregel.ObjectiveSkew
+	// ObjectiveEdgeCut migrates boundary vertices toward their heaviest
+	// communication partner when the traffic matrix shows a dominant
+	// cross-partition lane, shrinking the edge cut. Requires PlaneLanes
+	// and telemetry.
+	ObjectiveEdgeCut = pregel.ObjectiveEdgeCut
 )
 
 // FailPartitionAt builds an EngineConfig.PartitionFailureAt hook that

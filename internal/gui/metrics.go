@@ -89,6 +89,20 @@ func migrationSummary(ms []pregel.MigrationEvent) string {
 	return strings.Join(parts, ", ")
 }
 
+// partitionSizesSummary renders the per-worker vertex counts the job
+// finished with ("w0: 120, w1: 118, ..."), or "—" when the job did not
+// record them.
+func partitionSizesSummary(sizes []int64) string {
+	if len(sizes) == 0 {
+		return "—"
+	}
+	parts := make([]string, len(sizes))
+	for i, n := range sizes {
+		parts[i] = fmt.Sprintf("w%d: %d", i, n)
+	}
+	return strings.Join(parts, ", ")
+}
+
 // ms renders a duration as fractional milliseconds.
 func ms(d time.Duration) string {
 	return fmt.Sprintf("%.2f", float64(d.Microseconds())/1000)
@@ -257,6 +271,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		Rebalances                         int
 		Migrated                           int64
 		HasMigrations                      bool
+		Partitioner                        string
+		PartitionSizes                     string
+		EdgeCut                            int64
+		LocalRatio                         string
+		HasPlacement                       bool
 		Subgraphs, InternalIters           int64
 		HasSubgraphs                       bool
 		Sent, Combined, Received, Vertices int64
@@ -288,6 +307,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		Rebalances:      jm.Totals.Rebalances,
 		Migrated:        jm.Totals.VerticesMigrated,
 		HasMigrations:   jm.Totals.Rebalances > 0,
+		Partitioner:     jm.Partitioner,
+		PartitionSizes:  partitionSizesSummary(jm.PartitionSizes),
+		EdgeCut:         jm.EdgeCut,
+		LocalRatio:      fmt.Sprintf("%.1f%%", jm.Totals.LocalMessageRatio(jm.TrafficTotal())*100),
+		HasPlacement:    jm.Partitioner != "",
 		Subgraphs:       jm.Totals.SubgraphsComputed,
 		InternalIters:   jm.Totals.InternalIterations,
 		HasSubgraphs:    jm.Totals.SubgraphsComputed > 0,

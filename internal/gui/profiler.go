@@ -244,6 +244,8 @@ profile. Re-run with the metrics layer enabled (the default for graft run).</p>`
 	var (
 		traffic           [][]int64
 		trafficSum        int64
+		localSum          int64
+		edgeCut           int64
 		prev, next        int
 		hasPrev, hasNext  bool
 		selectedAnomalies []anomalyRow
@@ -253,6 +255,8 @@ profile. Re-run with the metrics layer enabled (the default for graft run).</p>`
 		ss := jm.Supersteps[selIdx]
 		selected = ss.Superstep
 		traffic = ss.Traffic
+		localSum = ss.LocalMessages
+		edgeCut = ss.EdgeCut
 		for _, row := range traffic {
 			for _, v := range row {
 				trafficSum += v
@@ -278,6 +282,9 @@ profile. Re-run with the metrics layer enabled (the default for graft run).</p>`
 		TrafficSum        int64
 		SelectedSent      int64
 		HasTraffic        bool
+		LocalRatio        string
+		EdgeCut           int64
+		Partitioner       string
 		SelectedAnomalies []anomalyRow
 		Anomalies         []anomalyRow
 		AnomalyCounts     map[string]int
@@ -291,12 +298,17 @@ profile. Re-run with the metrics layer enabled (the default for graft run).</p>`
 		HasPrev: hasPrev, HasNext: hasNext,
 		TrafficSum:        trafficSum,
 		HasTraffic:        len(traffic) > 0,
+		EdgeCut:           edgeCut,
+		Partitioner:       jm.Partitioner,
 		SelectedAnomalies: selectedAnomalies,
 		Anomalies:         anomalyRows(jm.Anomalies),
 		AnomalyCounts:     jm.AnomalyCounts,
 	}
 	if selIdx >= 0 {
 		data.SelectedSent = jm.Supersteps[selIdx].MessagesSent
+	}
+	if trafficSum > 0 {
+		data.LocalRatio = fmt.Sprintf("%.1f%%", float64(localSum)/float64(trafficSum)*100)
 	}
 	body, err := renderSub(profilerTmpl, data)
 	if err != nil {

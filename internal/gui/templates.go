@@ -184,6 +184,10 @@ has the per-worker timeline, the traffic heatmap and the anomaly feed.</p>
 {{if .HasFaults}}<tr><th>Recoveries</th><td>{{.Recoveries}}</td>
 <th>Faults</th><td colspan="5">{{.Faults}}</td></tr>{{end}}
 {{if .HasOutboxLog}}<tr><th>Outbox log</th><td colspan="7">{{.OutboxLog}}</td></tr>{{end}}
+{{if .HasPlacement}}<tr><th>Partitioner</th><td>{{.Partitioner}}</td>
+<th>Edge cut</th><td>{{.EdgeCut}}</td>
+<th>Local messages</th><td>{{.LocalRatio}}</td>
+<th>Vertices / worker</th><td>{{.PartitionSizes}}</td></tr>{{end}}
 {{if .HasMigrations}}<tr><th>Rebalances</th><td>{{.Rebalances}}</td>
 <th>Vertices migrated</th><td colspan="5">{{.Migrated}}</td></tr>{{end}}
 {{if .HasSubgraphs}}<tr><th>Subgraphs computed</th><td>{{.Subgraphs}}</td>
@@ -253,6 +257,9 @@ the sender&#8594;receiver traffic heatmap of one superstep, and the anomaly feed
 <strong>Superstep {{.Selected}}</strong>
 {{if .HasNext}}<a href="?superstep={{.Next}}">Next superstep &raquo;</a>{{else}}<span class="muted">Next superstep &raquo;</span>{{end}}
 {{if .HasTraffic}}| {{.TrafficSum}} messages in the matrix ({{.SelectedSent}} sent this superstep){{end}}
+{{if .LocalRatio}}| {{.LocalRatio}} stayed worker-local{{end}}
+{{if .EdgeCut}}| edge cut {{.EdgeCut}}{{end}}
+{{if .Partitioner}}| partitioner: {{.Partitioner}}{{end}}
 </div>
 {{.Heatmap}}
 {{if .SelectedAnomalies}}

@@ -53,6 +53,10 @@ func (r *Registry) ServeVars(w http.ResponseWriter, req *http.Request) {
 		"graft.faults.dropped":      snap.Faults.DroppedRecords,
 		"graft.faults.corrupt_ckpt": snap.Faults.CorruptCheckpoints,
 		"graft.traffic_messages":    snap.TrafficTotal(),
+		"graft.local_messages":      snap.Totals.LocalMessages,
+		"graft.local_ratio":         snap.Totals.LocalMessageRatio(snap.TrafficTotal()),
+		"graft.edge_cut":            snap.EdgeCut,
+		"graft.partitioner":         snap.Partitioner,
 		"graft.anomalies":           len(snap.Anomalies),
 		"runtime.goroutines":        runtime.NumGoroutine(),
 		"runtime.heap_alloc":        mem.HeapAlloc,

@@ -69,6 +69,19 @@ type Totals struct {
 	// VerticesMigrated counts vertices the rebalancer moved between
 	// partitions over the job.
 	VerticesMigrated int64 `json:"vertices_migrated,omitempty"`
+	// LocalMessages counts messages whose sender and receiver lived on
+	// the same worker, over the supersteps with a captured traffic
+	// matrix (absent when the matrix was never captured).
+	LocalMessages int64 `json:"local_messages,omitempty"`
+}
+
+// LocalMessageRatio is the fraction of the job's traffic-accounted
+// messages that stayed worker-local — the placement-quality headline.
+func (t Totals) LocalMessageRatio(trafficTotal int64) float64 {
+	if trafficTotal == 0 {
+		return 0
+	}
+	return float64(t.LocalMessages) / float64(trafficTotal)
 }
 
 // add folds one superstep into the rollup.
@@ -92,6 +105,7 @@ func (t *Totals) add(ss pregel.SuperstepStats) {
 	if ss.MessageSkew > t.MaxMessageSkew {
 		t.MaxMessageSkew = ss.MessageSkew
 	}
+	t.LocalMessages += ss.LocalMessages
 	for _, m := range ss.Migrations {
 		t.Rebalances++
 		t.VerticesMigrated += m.Vertices
@@ -151,6 +165,14 @@ type JobMetrics struct {
 	// Supersteps); AnomalyCounts rolls them up by kind.
 	Anomalies     []anomaly.Event `json:"anomalies,omitempty"`
 	AnomalyCounts map[string]int  `json:"anomaly_counts,omitempty"`
+	// Partitioner names the placement mode the job ran with ("hash" or
+	// "locality"); PartitionSizes is the per-worker vertex count at job
+	// end and EdgeCut the final cross-partition directed-edge count —
+	// the placement-quality view graft show and the GUI job page render
+	// (filled at job end).
+	Partitioner    string  `json:"partitioner,omitempty"`
+	PartitionSizes []int64 `json:"partition_sizes,omitempty"`
+	EdgeCut        int64   `json:"edge_cut,omitempty"`
 }
 
 // TrafficTotal sums a job's captured traffic matrices: the number of
@@ -288,6 +310,9 @@ func (r *Registry) JobFinished(stats *pregel.Stats, err error) {
 		r.jm.MessagesLogged = stats.MessagesLogged
 		r.jm.BytesLogged = stats.BytesLogged
 		r.jm.Faults = stats.Faults
+		r.jm.Partitioner = stats.Partitioner.String()
+		r.jm.PartitionSizes = stats.PartitionSizes
+		r.jm.EdgeCut = stats.EdgeCut
 	}
 	if err != nil {
 		r.jm.Error = err.Error()

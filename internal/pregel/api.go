@@ -222,24 +222,36 @@ type SuperstepStats struct {
 	// lanes merge into the shards. Nil under PlaneMutex, when telemetry
 	// is disabled, or when Config.AnomalyWindow is negative.
 	Traffic [][]int64 `json:"traffic,omitempty"`
+	// LocalMessages counts the messages of this superstep whose sender
+	// and receiver partitions coincide: the diagonal of Traffic. Zero
+	// whenever Traffic is nil.
+	LocalMessages int64 `json:"local,omitempty"`
+	// EdgeCut is the number of directed edges crossing partitions after
+	// this superstep's barrier (post-migration placement). Zero when
+	// telemetry is disabled.
+	EdgeCut int64 `json:"edge_cut,omitempty"`
 	// Anomalies holds the events the anomaly detectors emitted at this
 	// superstep's barrier (empty unless detection is enabled).
 	Anomalies []anomaly.Event `json:"anomalies,omitempty"`
-	// Migrations records the vertex migrations the skew rebalancer
-	// performed at this superstep's barrier (empty unless
-	// Config.RebalanceSkew triggered).
+	// Migrations records the vertex migrations the rebalancer performed
+	// at this superstep's barrier (empty unless rebalancing triggered).
 	Migrations []MigrationEvent `json:"migrations,omitempty"`
 }
 
 // MigrationEvent records one rebalancer migration: Vertices vertices
-// (carrying Edges out-edges) moved from partition From to partition To
-// because the superstep's skew indicator read Skew.
+// (carrying Edges out-edges) moved from partition From to partition
+// To. Under the skew objective, Skew is the compute/message skew that
+// triggered the move; under the edge-cut objective (Objective =
+// "edgecut"), Skew is the triggering lane's share of the superstep's
+// traffic and Gain is the directed-edge cut removed between the pair.
 type MigrationEvent struct {
-	From     int     `json:"from"`
-	To       int     `json:"to"`
-	Vertices int64   `json:"vertices"`
-	Edges    int64   `json:"edges"`
-	Skew     float64 `json:"skew"`
+	From      int     `json:"from"`
+	To        int     `json:"to"`
+	Vertices  int64   `json:"vertices"`
+	Edges     int64   `json:"edges"`
+	Skew      float64 `json:"skew"`
+	Objective string  `json:"objective,omitempty"`
+	Gain      int64   `json:"gain,omitempty"`
 }
 
 // WorkerStepStats is the telemetry of one worker during one superstep,

@@ -49,18 +49,20 @@ func (en *engine) writeCheckpoint() error {
 		e.PutString(name)
 		EncodeTyped(e, en.broadcast[name])
 	}
-	// The rebalancer's reassignment table, in ascending vertex order:
-	// without it a restored engine would route migrated vertices' mail
-	// back to their hash partition.
-	moved := make([]VertexID, 0, len(en.reassigned))
-	for id := range en.reassigned {
-		moved = append(moved, id)
+	// The placement table — locality assignments and rebalancer
+	// migrations alike — in ascending vertex order: without it a
+	// restored engine would route placed vertices' mail back to their
+	// hash partition. The wire format is unchanged from the original
+	// rebalancer-only table, so GRFTCKPT2 stays GRFTCKPT2.
+	var movedIDs []VertexID
+	var movedParts []int
+	if en.assign != nil {
+		movedIDs, movedParts = en.assign.pairs()
 	}
-	sort.Slice(moved, func(i, j int) bool { return moved[i] < moved[j] })
-	e.PutUvarint(uint64(len(moved)))
-	for _, id := range moved {
+	e.PutUvarint(uint64(len(movedIDs)))
+	for i, id := range movedIDs {
 		e.PutVarint(int64(id))
-		e.PutUvarint(uint64(en.reassigned[id]))
+		e.PutUvarint(uint64(movedParts[i]))
 	}
 	// The ID scratch slice is shared across partitions and message
 	// shards: sorting dominates, so reusing the backing array keeps the
@@ -274,9 +276,9 @@ func (en *engine) restoreCheckpointFile(superstep int) error {
 // out just the failed partitions' vertices and inbox messages (by
 // *current* routing) and ignores the rest.
 type checkpointState struct {
-	superstep  int
-	broadcast  map[string]Value
-	reassigned map[VertexID]int
+	superstep int
+	broadcast map[string]Value
+	assign    *assignTable
 	// parts holds each checkpoint partition's vertices in encoded
 	// (ascending ID) order; owners point at placeholder partitions and
 	// are rewritten on install.
@@ -323,15 +325,17 @@ func (en *engine) decodeCheckpoint(raw []byte) (*checkpointState, error) {
 		return nil, d.Err()
 	}
 	if nMoved > 0 {
-		st.reassigned = make(map[VertexID]int, nMoved)
+		ids := make([]VertexID, nMoved)
+		parts := make([]int, nMoved)
 		for i := 0; i < nMoved; i++ {
 			id := VertexID(d.Varint())
 			p := int(d.Uvarint())
 			if p < 0 || p >= numParts {
 				return nil, fmt.Errorf("pregel: checkpoint reassigns vertex %d to partition %d of %d", id, p, numParts)
 			}
-			st.reassigned[id] = p
+			ids[i], parts[i] = id, p
 		}
+		st.assign = assignTableFromPairs(ids, parts)
 	}
 	st.parts = make([][]*Vertex, numParts)
 	for i := range st.parts {
@@ -381,7 +385,8 @@ func (en *engine) install(st *checkpointState) {
 	en.next = newMessageStore(numParts, en.cfg.Combiner, en.cfg.MessagePlane, en.pool)
 	en.broadcast = st.broadcast
 	en.superstep = st.superstep
-	en.reassigned = st.reassigned
+	en.assign = st.assign
+	en.edgeCutDirty = true
 	en.recountActive()
 
 	// Re-point the input graph at the restored vertex objects; the

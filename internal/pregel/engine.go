@@ -73,12 +73,20 @@ type Stats struct {
 	// RecoveryTime is the portion of Runtime spent restoring
 	// checkpoints after simulated worker crashes.
 	RecoveryTime time.Duration
-	// Rebalances counts barriers at which the skew rebalancer migrated
-	// vertices (zero unless Config.RebalanceSkew is set).
+	// Rebalances counts barriers at which the rebalancer migrated
+	// vertices (zero unless rebalancing is enabled).
 	Rebalances int
 	// VerticesMigrated counts vertices the rebalancer moved between
 	// partitions over the whole job.
 	VerticesMigrated int64
+	// Partitioner is the placement mode the job ran with.
+	Partitioner PartitionerMode
+	// PartitionSizes is the per-worker vertex count at job end — the
+	// placement-quality view graft show and the GUI render.
+	PartitionSizes []int64
+	// EdgeCut is the number of directed edges whose endpoints ended the
+	// job on different workers (zero when telemetry is disabled).
+	EdgeCut int64
 	// Anomalies collects every event the anomaly detectors emitted over
 	// the job, in superstep order (nil when detection is disabled).
 	Anomalies []anomaly.Event
@@ -103,6 +111,15 @@ func (s *Stats) String() string {
 	if s.Rebalances > 0 {
 		line += fmt.Sprintf(" rebalances=%d migrated=%d", s.Rebalances, s.VerticesMigrated)
 	}
+	if s.Partitioner != PartitionHash {
+		line += fmt.Sprintf(" partitioner=%s", s.Partitioner)
+	}
+	if s.EdgeCut > 0 {
+		line += fmt.Sprintf(" edge-cut=%d", s.EdgeCut)
+		if r := s.LocalMessageRatio(); r > 0 {
+			line += fmt.Sprintf(" local-msgs=%.0f%%", r*100)
+		}
+	}
 	if len(s.Anomalies) > 0 {
 		line += fmt.Sprintf(" anomalies=%d", len(s.Anomalies))
 	}
@@ -119,6 +136,38 @@ func (s *Stats) PhaseTotals() (compute, barrier, capture time.Duration) {
 		capture += ss.CaptureTime
 	}
 	return compute, barrier, capture
+}
+
+// LocalMessageRatio is the fraction of the job's messages whose sender
+// and receiver lived on the same worker, over the supersteps where the
+// traffic matrix was captured (0 when it never was). It is the
+// placement-quality number the partitioner exists to push up.
+func (s *Stats) LocalMessageRatio() float64 {
+	var local, sent int64
+	for _, ss := range s.PerSuperstep {
+		if ss.Traffic == nil {
+			continue
+		}
+		local += ss.LocalMessages
+		sent += ss.MessagesSent
+	}
+	if sent == 0 {
+		return 0
+	}
+	return float64(local) / float64(sent)
+}
+
+// RemoteMessages counts the job's cross-worker messages over the
+// supersteps where the traffic matrix was captured.
+func (s *Stats) RemoteMessages() int64 {
+	var remote int64
+	for _, ss := range s.PerSuperstep {
+		if ss.Traffic == nil {
+			continue
+		}
+		remote += ss.MessagesSent - ss.LocalMessages
+	}
+	return remote
 }
 
 // MaxComputeSkew returns the worst per-superstep compute skew of the
@@ -223,6 +272,24 @@ type Config struct {
 	// RebalanceMaxMoves caps the vertices migrated per rebalance; 0
 	// means the default (1024).
 	RebalanceMaxMoves int
+	// RebalanceObjective selects what rebalancing optimizes.
+	// ObjectiveSkew (the zero value) is the load objective gated by
+	// RebalanceSkew. ObjectiveEdgeCut migrates boundary vertices toward
+	// their heaviest communication partner whenever the traffic matrix
+	// shows a dominant cross-partition lane; it is self-enabling
+	// (RebalanceSkew is not consulted) and requires PlaneLanes,
+	// telemetry and a non-negative AnomalyWindow, since the traffic
+	// matrix feeds the decision.
+	RebalanceObjective RebalanceObjective
+	// Partitioner selects the initial vertex placement: PartitionHash
+	// (the zero value) is Fibonacci hashing, byte-compatible with
+	// every earlier release; PartitionLocality streams vertices in ID
+	// order into the partition holding the most of their neighbors
+	// (LDG-style, capacity-penalized), recording the result in an
+	// assignment table that persists through checkpoints, confined
+	// recovery and migrations. Placement never changes computation
+	// semantics — trace digests are identical under either mode.
+	Partitioner PartitionerMode
 	// AnomalyWindow is the sliding-window size (in supersteps) of the
 	// anomaly detectors; 0 means the default (anomaly.DefaultWindow).
 	// A negative value disables detection and the traffic-matrix
@@ -396,10 +463,17 @@ type engine struct {
 	stats      Stats
 	pool       *batchPool
 	flushBatch int
-	// reassigned records vertices the skew rebalancer moved away from
-	// their hash partition; partitionFor consults it. Nil until the
-	// first migration, so the disabled rebalancer costs one nil check.
-	reassigned map[VertexID]int
+	// assign records vertices placed away from their hash partition —
+	// by the locality partitioner at load and by the rebalancer at
+	// migration; partitionFor consults it. Nil until the first
+	// divergence, so hash-pure jobs cost one nil check.
+	assign *assignTable
+	// edgeCut caches the current cross-partition directed-edge count;
+	// edgeCutDirty flags that placement or topology changed since it
+	// was computed (mutation, migration, recovery), so the barrier
+	// recomputes it lazily — static graphs pay the O(E) scan once.
+	edgeCut      int64
+	edgeCutDirty bool
 	// partActive[w] is the number of non-halted vertices in partition w,
 	// maintained at the barrier (worker results, mutations, missing-
 	// vertex creation, migration, recovery). Together with the message
@@ -456,6 +530,14 @@ func newEngine(j *Job) *engine {
 	for i := range en.parts {
 		en.parts[i] = &partition{idx: i, verts: make(map[VertexID]*Vertex)}
 	}
+	en.edgeCutDirty = true
+	if j.cfg.Partitioner == PartitionLocality {
+		// The placement table must exist before the distribution loop
+		// below and before any checkpoint or outbox log is written, so
+		// every consumer of partitionFor — sends, mutations, recovery
+		// replay — agrees on the locality placement from superstep 0.
+		en.assign = localityPlacement(j.graph, w)
+	}
 	for _, id := range j.graph.VertexIDs() {
 		v := j.graph.vertices[id]
 		p := en.parts[en.partitionFor(id)]
@@ -490,17 +572,36 @@ func (en *engine) newStore() *messageStore {
 	return newMessageStore(len(en.parts), en.cfg.Combiner, en.cfg.MessagePlane, en.pool)
 }
 
-// partitionFor hashes a vertex ID to a worker. Fibonacci hashing keeps
-// consecutive IDs (the common case for generated graphs) spread evenly.
-// Vertices moved by the skew rebalancer route to their new owner.
+// partitionFor maps a vertex ID to a worker: the explicit assignment
+// table first (locality placement, rebalancer migrations), Fibonacci
+// hashing otherwise. Both paths are allocation-free; hash-pure jobs
+// pay one nil check.
 func (en *engine) partitionFor(id VertexID) int {
-	if en.reassigned != nil {
-		if p, ok := en.reassigned[id]; ok {
+	if t := en.assign; t != nil {
+		if p, ok := t.lookup(id); ok {
 			return p
 		}
 	}
-	h := uint64(id) * 0x9E3779B97F4A7C15
-	return int(h % uint64(len(en.parts)))
+	return hashPartition(id, len(en.parts))
+}
+
+// computeEdgeCut scans every partition's out-edges and counts those
+// whose target routes to a different worker: the edge-cut objective
+// the locality partitioner and edgecut rebalancer minimize. O(E); the
+// engine caches the result and recomputes only when placement or
+// topology changed.
+func (en *engine) computeEdgeCut() int64 {
+	var cut int64
+	for _, p := range en.parts {
+		for _, v := range p.verts {
+			for i := range v.edges {
+				if en.partitionFor(v.edges[i].Target) != p.idx {
+					cut++
+				}
+			}
+		}
+	}
+	return cut
 }
 
 // recountActive rebuilds partActive from the partitions' vertex halted
@@ -547,6 +648,18 @@ func (en *engine) run(start time.Time) (*Stats, error) {
 	finish := func(err error) (*Stats, error) {
 		en.stats.Supersteps = en.superstep
 		en.stats.Runtime = time.Since(start)
+		en.stats.Partitioner = en.cfg.Partitioner
+		en.stats.PartitionSizes = make([]int64, len(en.parts))
+		for i, p := range en.parts {
+			en.stats.PartitionSizes[i] = int64(len(p.verts))
+		}
+		if err == nil && !en.cfg.DisableMetrics {
+			if en.edgeCutDirty {
+				en.edgeCut = en.computeEdgeCut()
+				en.edgeCutDirty = false
+			}
+			en.stats.EdgeCut = en.edgeCut
+		}
 		// A canceled job never resumes, so its recovery artifacts —
 		// checkpoints and outbox-log segments — are dead weight; GC them
 		// before listeners observe the stats, so CheckpointsDeleted
@@ -735,16 +848,31 @@ func (en *engine) run(start time.Time) (*Stats, error) {
 		if collect {
 			en.foldTelemetry(&ss, results, phaseWall)
 			ss.Traffic = traffic
+			if traffic != nil {
+				for w := range traffic {
+					ss.LocalMessages += traffic[w][w]
+				}
+			}
 			if en.anom != nil || en.cfg.RebalanceSkew > 0 {
 				sample := en.anomalySample(&ss)
 				if en.anom != nil {
 					ss.Anomalies = en.anom.Observe(sample)
 					en.stats.Anomalies = append(en.stats.Anomalies, ss.Anomalies...)
 				}
-				if en.cfg.RebalanceSkew > 0 {
+				if en.cfg.RebalanceSkew > 0 && en.cfg.RebalanceObjective == ObjectiveSkew {
 					en.rebalance(&ss, anomaly.EvaluateSkew(sample, en.cfg.RebalanceSkew))
 				}
 			}
+			if en.cfg.RebalanceObjective == ObjectiveEdgeCut {
+				en.rebalanceEdgeCut(&ss)
+			}
+			// Edge cut is recorded after rebalancing so the superstep's
+			// row reflects the placement the next superstep runs under.
+			if en.edgeCutDirty {
+				en.edgeCut = en.computeEdgeCut()
+				en.edgeCutDirty = false
+			}
+			ss.EdgeCut = en.edgeCut
 		}
 		// Barrier flush: listeners with an async capture pipeline drain
 		// and commit it here, so everything captured up to this barrier
@@ -1179,7 +1307,13 @@ func (en *engine) applyMutations(results []workerResult) {
 			}
 		}
 	}
+	if len(removals) > 0 {
+		en.edgeCutDirty = true
+	}
 	for _, p := range en.parts {
+		if p.edgeDelta != 0 {
+			en.edgeCutDirty = true
+		}
 		p.edges += int64(p.edgeDelta)
 		p.edgeDelta = 0
 		p.compactIfNeeded()

@@ -47,7 +47,6 @@ func (en *engine) rebalance(ss *SuperstepStats, v anomaly.SkewVerdict) {
 	if to < 0 {
 		return
 	}
-	dst := en.parts[to]
 
 	// Move half the straggler's excess over the mean (skew = max/mean,
 	// so the excess fraction is 1 - 1/skew). Halving damps oscillation:
@@ -76,11 +75,25 @@ func (en *engine) rebalance(ss *SuperstepStats, v anomaly.SkewVerdict) {
 		return ids[i] < ids[j]
 	})
 
-	if en.reassigned == nil {
-		en.reassigned = make(map[VertexID]int, budget)
+	movedEdges := en.migrateVertices(from, to, ids[:budget])
+
+	ev := MigrationEvent{From: from, To: to, Vertices: int64(budget), Edges: movedEdges, Skew: skew}
+	ss.Migrations = append(ss.Migrations, ev)
+}
+
+// migrateVertices performs the mechanics of moving the given vertices
+// from partition `from` to partition `to`: the vertex objects, the
+// active counts, the pending next-superstep messages, the routing
+// table consulted by partitionFor (so checkpoints and recovery stay
+// consistent) and the rebalance bookkeeping. Returns the number of
+// out-edges carried. Callers append their own MigrationEvent.
+func (en *engine) migrateVertices(from, to int, ids []VertexID) int64 {
+	src, dst := en.parts[from], en.parts[to]
+	if en.assign == nil {
+		en.assign = newAssignTable()
 	}
 	var movedEdges int64
-	for _, id := range ids[:budget] {
+	for _, id := range ids {
 		v := src.verts[id]
 		delete(src.verts, id)
 		src.removed++
@@ -93,7 +106,7 @@ func (en *engine) rebalance(ss *SuperstepStats, v anomaly.SkewVerdict) {
 		dst.ids = append(dst.ids, id)
 		dst.edges += int64(len(v.edges))
 		v.owner = dst
-		en.reassigned[id] = to
+		en.assign.set(id, to)
 		en.next.migrate(from, to, id)
 		movedEdges += int64(len(v.edges))
 	}
@@ -110,12 +123,119 @@ func (en *engine) rebalance(ss *SuperstepStats, v anomaly.SkewVerdict) {
 		// no vertex computes twice.
 		dst.rebuildIDs()
 	}
-
-	ev := MigrationEvent{From: from, To: to, Vertices: int64(budget), Edges: movedEdges, Skew: skew}
-	ss.Migrations = append(ss.Migrations, ev)
 	en.stats.Rebalances++
-	en.stats.VerticesMigrated += int64(budget)
+	en.stats.VerticesMigrated += int64(len(ids))
 	en.lastMigration = en.superstep
+	en.edgeCutDirty = true
+	return movedEdges
+}
+
+// Edge-cut rebalancing triggers only when the superstep moved enough
+// messages for the matrix to mean something, and when the heaviest
+// cross-partition lane carries at least this fraction of the
+// superstep's traffic — below that, placement is already good enough
+// that migrating would churn for noise.
+const (
+	edgecutMinMessages  = 128
+	edgecutMinLaneShare = 1.0 / 16
+)
+
+// rebalanceEdgeCut is the communication-objective repartitioner
+// (Config.RebalanceObjective = ObjectiveEdgeCut). It runs on the
+// coordinator at the barrier, reading the superstep's traffic matrix:
+// if the heaviest cross-partition lane (from→to) carries a meaningful
+// share of the traffic, the boundary vertices of `from` whose
+// out-edges lean toward `to` migrate there — each move strictly
+// shrinks the directed edge cut between the pair, so on undirected
+// graphs the placement monotonically improves and the trigger starves
+// itself once the boundary is tight. Like the skew objective,
+// placement never changes computation semantics: traces and results
+// are identical with the rebalancer on or off.
+func (en *engine) rebalanceEdgeCut(ss *SuperstepStats) {
+	traffic := ss.Traffic
+	if traffic == nil || len(en.parts) < 2 {
+		return
+	}
+	var total, bestLane int64
+	bestFrom, bestTo := -1, -1
+	for s := range traffic {
+		for d, msgs := range traffic[s] {
+			total += msgs
+			if s == d {
+				continue
+			}
+			if msgs > bestLane {
+				bestLane = msgs
+				bestFrom, bestTo = s, d
+			}
+		}
+	}
+	if total < edgecutMinMessages || bestFrom < 0 ||
+		float64(bestLane) < float64(total)*edgecutMinLaneShare {
+		return
+	}
+	src := en.parts[bestFrom]
+	if len(src.verts) < 2 {
+		return
+	}
+
+	// Candidates: vertices whose out-edges reach the heavy partner more
+	// often than they stay home. Moving one trades its home edges for
+	// its partner edges, so gain = toDst - toSrc > 0 strictly shrinks
+	// the cut between the pair.
+	type candidate struct {
+		id   VertexID
+		gain int
+	}
+	var cands []candidate
+	for id, v := range src.verts {
+		toDst, toSrc := 0, 0
+		for i := range v.edges {
+			switch en.partitionFor(v.edges[i].Target) {
+			case bestTo:
+				toDst++
+			case bestFrom:
+				toSrc++
+			}
+		}
+		if toDst > toSrc {
+			cands = append(cands, candidate{id: id, gain: toDst - toSrc})
+		}
+	}
+	if len(cands) == 0 {
+		return
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].gain != cands[j].gain {
+			return cands[i].gain > cands[j].gain
+		}
+		return cands[i].id < cands[j].id
+	})
+	budget := en.rebalanceMaxMoves()
+	if budget > len(cands) {
+		budget = len(cands)
+	}
+	if budget >= len(src.verts) {
+		budget = len(src.verts) - 1
+	}
+	if budget < 1 {
+		return
+	}
+	ids := make([]VertexID, budget)
+	var gain int64
+	for i := 0; i < budget; i++ {
+		ids[i] = cands[i].id
+		gain += int64(cands[i].gain)
+	}
+	movedEdges := en.migrateVertices(bestFrom, bestTo, ids)
+
+	ev := MigrationEvent{
+		From: bestFrom, To: bestTo,
+		Vertices: int64(budget), Edges: movedEdges,
+		Skew:      float64(bestLane) / float64(total),
+		Objective: "edgecut", Gain: gain,
+	}
+	ss.Migrations = append(ss.Migrations, ev)
 }
 
 func (en *engine) rebalanceMaxMoves() int {

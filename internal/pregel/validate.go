@@ -45,6 +45,23 @@ func (c *Config) Validate() error {
 	if c.ComputeMode != ModeVertex && c.ComputeMode != ModeSubgraph {
 		return invalidf("ComputeMode = %d, must be ModeVertex or ModeSubgraph", int(c.ComputeMode))
 	}
+	if c.Partitioner != PartitionHash && c.Partitioner != PartitionLocality {
+		return invalidf("Partitioner = %d, must be PartitionHash or PartitionLocality", int(c.Partitioner))
+	}
+	if c.RebalanceObjective != ObjectiveSkew && c.RebalanceObjective != ObjectiveEdgeCut {
+		return invalidf("RebalanceObjective = %d, must be ObjectiveSkew or ObjectiveEdgeCut", int(c.RebalanceObjective))
+	}
+	if c.RebalanceObjective == ObjectiveEdgeCut {
+		if c.MessagePlane != PlaneLanes {
+			return invalidf("RebalanceObjective = edgecut requires the lane message plane (MessagePlane = PlaneLanes)")
+		}
+		if c.DisableMetrics {
+			return invalidf("RebalanceObjective = edgecut requires telemetry (DisableMetrics must be false)")
+		}
+		if c.AnomalyWindow < 0 {
+			return invalidf("RebalanceObjective = edgecut requires the traffic matrix (AnomalyWindow must be >= 0)")
+		}
+	}
 	if c.CheckpointEvery > 0 && c.CheckpointFS == nil {
 		return invalidf("CheckpointEvery = %d without CheckpointFS", c.CheckpointEvery)
 	}
